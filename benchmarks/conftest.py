@@ -1,0 +1,76 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one figure of the paper via
+:func:`repro.experiments.run_figure`.  Experiments are macro-scale
+(seconds to minutes), so pytest-benchmark runs them pedantically: one
+round, one iteration.  Rendered tables are printed (visible with
+``-s``) and written to ``benchmarks/results/`` for inspection.
+
+Environment knobs (see repro.experiments.config):
+  REPRO_SCALE  fraction of paper cardinalities (default 0.25)
+  REPRO_BUILD  'str' (default) or 'dynamic' tree construction
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Chart renderings printed (and saved) next to each figure's table:
+#: (x, series, value, filters) per chart.
+FIGURE_CHARTS = {
+    "fig04": [("combo", "algorithm", "disk_accesses",
+               {"overlap_pct": 0}),
+              ("combo", "algorithm", "disk_accesses",
+               {"overlap_pct": 100})],
+    "fig05": [("overlap_pct", "algorithm", "relative_to_exh_pct", {})],
+    "fig06": [("buffer_pages", "algorithm", "disk_accesses",
+               {"overlap_pct": 100})],
+    "fig07": [("k", "algorithm", "disk_accesses", {"overlap_pct": 0}),
+              ("k", "algorithm", "disk_accesses",
+               {"overlap_pct": 100})],
+    "fig09": [("buffer_pages", "algorithm", "disk_accesses", {})],
+    "fig10": [("k", "algorithm", "disk_accesses",
+               {"buffer_pages": 0, "overlap_pct": 100}),
+              ("k", "algorithm", "disk_accesses",
+               {"buffer_pages": 128, "overlap_pct": 100})],
+}
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_and_record(benchmark, results_dir):
+    """Run one figure under pytest-benchmark and persist its table."""
+
+    def runner(figure_id: str):
+        from repro.experiments import run_figure
+        from repro.experiments.chart import series_chart
+
+        table = benchmark.pedantic(
+            run_figure, args=(figure_id,), rounds=1, iterations=1
+        )
+        charts = []
+        for x, series, value, filters in FIGURE_CHARTS.get(figure_id, []):
+            charts.append(
+                series_chart(table, x=x, series=series, value=value,
+                             **filters)
+            )
+        output = "\n\n".join([table.render()] + charts)
+        path = os.path.join(results_dir, f"{figure_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(output + "\n")
+        csv_path = os.path.join(results_dir, f"{figure_id}.csv")
+        table.to_csv(csv_path)
+        print()
+        print(output)
+        return table
+
+    return runner

@@ -1,0 +1,206 @@
+"""Ablations of the reproduction's design choices (beyond the paper's
+own figures).
+
+Each ablation isolates one choice DESIGN.md calls out:
+
+* the Section 3.8 MAXMAXDIST accumulation bound for K > 1,
+* tree construction (STR packing vs dynamic R* insertion),
+* the split policy (R* vs Guttman quadratic),
+* the buffer replacement policy (LRU vs FIFO / LFU / CLOCK).
+"""
+
+import random
+
+import pytest
+
+from repro.core import k_closest_pairs
+from repro.datasets import (
+    UNIT_WORKSPACE,
+    overlapping_workspace,
+    uniform_points,
+)
+from repro.experiments.report import Table
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.storage.paged_file import PagedFile
+from repro.storage.policies import BUFFER_POLICIES
+
+N = 8_000
+
+
+@pytest.fixture(scope="module")
+def point_sets():
+    ws_q = overlapping_workspace(UNIT_WORKSPACE, 0.5)
+    return (
+        uniform_points(N, seed=31),
+        uniform_points(N, ws_q, seed=32),
+    )
+
+
+def _print_and_check(table, check):
+    print()
+    print(table.render())
+    check(table)
+
+
+def test_ablation_maxmax_k_pruning(benchmark, point_sets):
+    """Effect of the MAXMAXDIST accumulation bound (Section 3.8)."""
+    pts_p, pts_q = point_sets
+    tree_p = bulk_load(pts_p)
+    tree_q = bulk_load(pts_q)
+
+    def run():
+        table = Table(
+            title="Ablation: MAXMAXDIST K-pruning (Section 3.8)",
+            columns=("algorithm", "k", "pruning", "disk_accesses"),
+            notes=(
+                "The accumulation bound may only remove work; both "
+                "modes return identical results."
+            ),
+        )
+        for algorithm in ("sim", "std", "heap"):
+            for k in (10, 100, 1000):
+                for pruning in (True, False):
+                    result = k_closest_pairs(
+                        tree_p, tree_q, k=k, algorithm=algorithm,
+                        maxmax_pruning=pruning,
+                    )
+                    table.add(
+                        algorithm.upper(), k,
+                        "maxmax" if pruning else "kheap-only",
+                        result.stats.disk_accesses,
+                    )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def check(table):
+        for algorithm in ("SIM", "STD", "HEAP"):
+            for k in (10, 100, 1000):
+                on = table.value("disk_accesses", algorithm=algorithm,
+                                 k=k, pruning="maxmax")
+                off = table.value("disk_accesses", algorithm=algorithm,
+                                  k=k, pruning="kheap-only")
+                assert on <= off
+
+    _print_and_check(table, check)
+
+
+def test_ablation_tree_construction(benchmark, point_sets):
+    """STR bulk loading vs dynamic R* insertion."""
+    pts_p, pts_q = point_sets
+
+    def run():
+        table = Table(
+            title=(
+                "Ablation: tree construction "
+                "(STR vs Hilbert packing vs dynamic R*)"
+            ),
+            columns=("build", "nodes_p", "algorithm", "disk_accesses"),
+            notes=(
+                "Dynamic R* trees have slightly more, overlapping "
+                "nodes; query answers are identical."
+            ),
+        )
+        from repro.rtree.hilbert import hilbert_bulk_load
+
+        trees = {}
+        trees["str"] = (bulk_load(pts_p), bulk_load(pts_q))
+        trees["hilbert"] = (
+            hilbert_bulk_load(pts_p), hilbert_bulk_load(pts_q)
+        )
+        dyn_p = RTree()
+        dyn_q = RTree()
+        for oid, point in enumerate(pts_p):
+            dyn_p.insert(tuple(point), oid)
+        for oid, point in enumerate(pts_q):
+            dyn_q.insert(tuple(point), oid)
+        trees["dynamic"] = (dyn_p, dyn_q)
+        for build, (tree_p, tree_q) in trees.items():
+            for algorithm in ("std", "heap"):
+                result = k_closest_pairs(
+                    tree_p, tree_q, k=100, algorithm=algorithm
+                )
+                table.add(
+                    build, tree_p.node_count(), algorithm.upper(),
+                    result.stats.disk_accesses,
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print_and_check(
+        table, lambda t: [None for v in t.column("disk_accesses")
+                          if not v > 0]
+    )
+
+
+def test_ablation_split_policy(benchmark):
+    """R* split vs Guttman quadratic split (paper Section 2.2 rationale:
+    'the R*-tree is considered the most efficient variant')."""
+    rng = random.Random(3)
+    pts_p = [(rng.random(), rng.random()) for __ in range(3000)]
+    pts_q = [(rng.uniform(0.5, 1.5), rng.random()) for __ in range(3000)]
+
+    def run():
+        table = Table(
+            title="Ablation: split policy (R* vs Guttman quadratic)",
+            columns=("variant", "nodes_p", "algorithm", "disk_accesses"),
+        )
+        for variant in ("rstar", "guttman"):
+            config = RTreeConfig(variant=variant)
+            tree_p = RTree(config)
+            tree_q = RTree(config)
+            for oid, point in enumerate(pts_p):
+                tree_p.insert(point, oid)
+            for oid, point in enumerate(pts_q):
+                tree_q.insert(point, oid)
+            for algorithm in ("std", "heap"):
+                result = k_closest_pairs(
+                    tree_p, tree_q, k=100, algorithm=algorithm
+                )
+                table.add(
+                    variant, tree_p.node_count(), algorithm.upper(),
+                    result.stats.disk_accesses,
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print_and_check(
+        table, lambda t: [None for v in t.column("disk_accesses")
+                          if not v > 0]
+    )
+
+
+def test_ablation_buffer_policy(benchmark, point_sets):
+    """LRU vs FIFO / LFU / CLOCK replacement under a small buffer."""
+    pts_p, pts_q = point_sets
+
+    def run():
+        table = Table(
+            title="Ablation: buffer replacement policy (B = 32)",
+            columns=("policy", "algorithm", "disk_accesses",
+                     "buffer_hits"),
+            notes="Policy affects cost only; results are identical.",
+        )
+        for policy in sorted(BUFFER_POLICIES):
+            tree_p = bulk_load(pts_p, file=PagedFile(
+                buffer_capacity=16, buffer_policy=policy))
+            tree_q = bulk_load(pts_q, file=PagedFile(
+                buffer_capacity=16, buffer_policy=policy))
+            for algorithm in ("exh", "std"):
+                result = k_closest_pairs(
+                    tree_p, tree_q, k=100, algorithm=algorithm,
+                    reset_stats=True,
+                )
+                table.add(
+                    policy.upper(), algorithm.upper(),
+                    result.stats.disk_accesses,
+                    result.stats.buffer_hits,
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print_and_check(
+        table,
+        lambda t: [None for v in t.column("buffer_hits") if not v >= 0],
+    )

@@ -1,0 +1,74 @@
+"""Validation of the analytical cost model (future work (b)).
+
+Compares the model's predicted disk accesses against measured HEAP
+costs across the overlap sweep.  The model is judged the way R-tree
+cost models are: order-of-magnitude accuracy and correct trends.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TreeShape,
+    estimate_closest_pair_distance,
+    estimate_cpq_accesses,
+)
+from repro.core import k_closest_pairs
+from repro.datasets import (
+    UNIT_WORKSPACE,
+    overlapping_workspace,
+    uniform_points,
+)
+from repro.experiments.report import Table
+from repro.rtree.bulk import bulk_load
+
+N = 10_000
+OVERLAPS = (0.0, 0.03, 0.12, 0.25, 0.5, 1.0)
+
+
+def test_cost_model_vs_measurement(benchmark):
+    def run():
+        table = Table(
+            title=(
+                f"Cost model validation: predicted vs measured disk "
+                f"accesses, uniform {N}/{N}, 1-CPQ"
+            ),
+            columns=("overlap_pct", "t_estimate", "predicted",
+                     "measured", "ratio"),
+            notes=(
+                "Shape target: monotone growth with overlap and "
+                "order-of-magnitude agreement, the accuracy class of "
+                "published R-tree cost models."
+            ),
+        )
+        tree_p = bulk_load(uniform_points(N, seed=51))
+        shape_p = TreeShape.from_tree(tree_p, UNIT_WORKSPACE)
+        for overlap in OVERLAPS:
+            ws_q = overlapping_workspace(UNIT_WORKSPACE, overlap)
+            tree_q = bulk_load(uniform_points(N, ws_q, seed=52))
+            shape_q = TreeShape.from_tree(tree_q, ws_q)
+            t = estimate_closest_pair_distance(shape_p, shape_q)
+            predicted = estimate_cpq_accesses(shape_p, shape_q, t)
+            measured = k_closest_pairs(
+                tree_p, tree_q, k=1, algorithm="heap"
+            ).stats.disk_accesses
+            table.add(
+                round(overlap * 100),
+                round(t, 6),
+                round(predicted, 1),
+                measured,
+                round(predicted / max(measured, 1), 2),
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    predictions = table.column("predicted")
+    measurements = table.column("measured")
+    # Trend: both rise with overlap.
+    assert predictions == sorted(predictions)
+    assert measurements == sorted(measurements)
+    # Accuracy: within an order of magnitude at full overlap.
+    ratio = table.rows[-1][-1]
+    assert 0.1 <= ratio <= 10.0

@@ -1,0 +1,13 @@
+"""Regenerates Figure 2: tie-treatment criteria T1-T5 (STD and HEAP).
+
+Paper claim: T1 always outperforms the other criteria; alternatives
+deteriorate by up to ~50 % on overlapping data sets, and all criteria
+are near-equivalent at 0 % overlap where ties are rare.
+"""
+
+
+def test_fig02_tie_treatments(run_and_record):
+    table = run_and_record("fig02")
+    # T1 is the 100% reference everywhere.
+    for row in table.select(criterion="T1"):
+        assert row[4] == 100.0

@@ -1,0 +1,14 @@
+"""Regenerates Figure 3: fix-at-leaves vs fix-at-root (different heights).
+
+Paper claim: fix-at-root is better for SIM and HEAP (10-40 % gains);
+for STD the strategies are comparable except at 0 % overlap, where
+fix-at-leaves wins clearly.
+"""
+
+
+def test_fig03_height_strategies(run_and_record):
+    table = run_and_record("fig03")
+    assert set(table.column("strategy")) == {
+        "fix-at-leaves", "fix-at-root",
+    }
+    assert all(v > 0 for v in table.column("disk_accesses"))

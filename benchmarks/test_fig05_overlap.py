@@ -1,0 +1,15 @@
+"""Regenerates Figure 5: the overlap-factor threshold for 1-CPQ.
+
+Paper claim: with overlap <= ~5 % the three pruning algorithms are
+2-20x faster than EXH; the advantage shrinks as overlap grows, and a
+fully-overlapping query costs orders of magnitude more than a disjoint
+one.
+"""
+
+
+def test_fig05_overlap_threshold(run_and_record):
+    table = run_and_record("fig05")
+    for combo in set(table.column("combo")):
+        low = table.value("relative_to_exh_pct", combo=combo,
+                          overlap_pct=0, algorithm="HEAP")
+        assert low < 100.0

@@ -1,0 +1,16 @@
+"""Regenerates Figure 6: LRU buffer sweep for the 1-CP algorithms.
+
+Paper claim: EXH and SIM gain up to 2-3x from a growing buffer but
+never reach STD/HEAP at 0 % overlap; at 100 % overlap STD also gains
+while HEAP stays nearly flat, losing its lead past B = 4 pages.
+"""
+
+
+def test_fig06_lru_buffer(run_and_record):
+    table = run_and_record("fig06")
+    for combo in set(table.column("combo")):
+        cold = table.value("disk_accesses", combo=combo, overlap_pct=100,
+                           buffer_pages=0, algorithm="EXH")
+        warm = table.value("disk_accesses", combo=combo, overlap_pct=100,
+                           buffer_pages=256, algorithm="EXH")
+        assert warm < cold

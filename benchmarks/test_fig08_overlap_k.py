@@ -1,0 +1,14 @@
+"""Regenerates Figure 8: the overlap x K surface for STD and HEAP.
+
+Paper claim: STD and HEAP are nearly equivalent and 5-50x faster than
+EXH below ~10 % overlap; past 50 % overlap HEAP saves 15-35 % with the
+gap growing in K.
+"""
+
+
+def test_fig08_overlap_by_k(run_and_record):
+    table = run_and_record("fig08")
+    ks = sorted(set(table.column("k")))
+    rel = table.value("relative_to_exh_pct", overlap_pct=0, k=ks[0],
+                      algorithm="HEAP")
+    assert rel < 100.0

@@ -1,0 +1,16 @@
+"""Regenerates Figure 9: buffer size x K for SIM/STD/HEAP at 0% overlap.
+
+Paper claim: SIM and STD benefit strongly from the buffer (up to an
+order of magnitude for the largest K); HEAP responds only for large K,
+so STD overtakes HEAP once B exceeds ~4 pages.
+"""
+
+
+def test_fig09_buffer_by_k(run_and_record):
+    table = run_and_record("fig09")
+    ks = sorted(set(table.column("k")))
+    cold = table.value("disk_accesses", buffer_pages=0, k=ks[-1],
+                       algorithm="STD")
+    warm = table.value("disk_accesses", buffer_pages=256, k=ks[-1],
+                       algorithm="STD")
+    assert warm <= cold

@@ -1,0 +1,18 @@
+"""Regenerates Figure 10: STD/HEAP vs the incremental EVN/SML.
+
+Paper claim: EVN is competitive for small K but inefficient for
+K >= 10,000; with zero buffer HEAP and SML lead (identical behaviour
+for disjoint workspaces); with a 128-page buffer STD is the most
+efficient, outperforming SML by up to ~50 %.  The max_queue column
+shows the incremental queue dwarfing HEAP's (Section 3.9).
+"""
+
+
+def test_fig10_vs_incremental(run_and_record):
+    table = run_and_record("fig10")
+    ks = sorted(set(table.column("k")))
+    heap_q = table.value("max_queue", buffer_pages=0, overlap_pct=100,
+                         k=ks[-1], algorithm="HEAP")
+    sml_q = table.value("max_queue", buffer_pages=0, overlap_pct=100,
+                        k=ks[-1], algorithm="SML")
+    assert sml_q > heap_q

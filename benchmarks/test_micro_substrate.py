@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the substrate hot paths (timed, multi-round).
+
+Unlike the figure regenerations (single-shot macro experiments), these
+use pytest-benchmark conventionally to time the operations the CPQ
+algorithms are built from: metric matrices, node (de)serialisation,
+tree construction and the substrate queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_points
+from repro.geometry.vectorized import (
+    pairwise_mindist,
+    pairwise_minmaxdist,
+    pairwise_point_distances,
+)
+from repro.query import nearest_neighbors, range_query
+from repro.geometry.mbr import MBR
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.page import PageLayout
+from repro.storage.serializer import NodeSerializer
+
+M = 21  # paper node capacity
+
+
+@pytest.fixture(scope="module")
+def rect_arrays():
+    rng = np.random.default_rng(0)
+    lo = rng.random((M, 2))
+    hi = lo + rng.random((M, 2)) * 0.05
+    return lo, hi
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    return bulk_load(uniform_points(20_000, seed=9))
+
+
+def test_bench_pairwise_mindist(benchmark, rect_arrays):
+    lo, hi = rect_arrays
+    benchmark(pairwise_mindist, lo, hi, lo, hi)
+
+
+def test_bench_pairwise_minmaxdist(benchmark, rect_arrays):
+    lo, hi = rect_arrays
+    benchmark(pairwise_minmaxdist, lo, hi, lo, hi)
+
+
+def test_bench_leaf_distance_matrix(benchmark):
+    rng = np.random.default_rng(1)
+    pts_a = rng.random((M, 2))
+    pts_b = rng.random((M, 2))
+    benchmark(pairwise_point_distances, pts_a, pts_b)
+
+
+def test_bench_node_serialize_roundtrip(benchmark):
+    serializer = NodeSerializer(PageLayout(page_size=1024))
+    entries = [((float(i), float(-i)), i) for i in range(M)]
+
+    def roundtrip():
+        return serializer.deserialize(serializer.serialize_leaf(entries))
+
+    benchmark(roundtrip)
+
+
+def test_bench_str_bulk_load(benchmark):
+    points = uniform_points(5_000, seed=2)
+    benchmark.pedantic(bulk_load, args=(points,), rounds=3, iterations=1)
+
+
+def test_bench_dynamic_insert(benchmark):
+    points = [tuple(p) for p in uniform_points(1_000, seed=3)]
+
+    def build():
+        tree = RTree()
+        for oid, point in enumerate(points):
+            tree.insert(point, oid)
+        return tree
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_bench_knn(benchmark, loaded_tree):
+    benchmark(nearest_neighbors, loaded_tree, (0.5, 0.5), 10)
+
+
+def test_bench_range_query(benchmark, loaded_tree):
+    window = MBR((0.4, 0.4), (0.6, 0.6))
+    benchmark(range_query, loaded_tree, window)

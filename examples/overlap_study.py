@@ -1,0 +1,49 @@
+"""Mini-study of the paper's headline finding: workspace overlap
+dominates the cost of closest pair queries.
+
+Sweeps the overlap portion between two uniform data sets from 0 % to
+100 % and reports the disk accesses of each algorithm -- a pocket
+version of the paper's Figure 5.
+
+Run:  python examples/overlap_study.py
+"""
+
+from repro.core import k_closest_pairs
+from repro.datasets import UNIT_WORKSPACE, overlapping_workspace, uniform_points
+from repro.rtree.bulk import bulk_load
+
+ALGORITHMS = ("exh", "sim", "std", "heap")
+OVERLAPS = (0.0, 0.05, 0.25, 0.5, 1.0)
+N = 10_000
+
+
+def main() -> None:
+    tree_p = bulk_load(uniform_points(N, seed=1))
+    print(f"P: {N} uniform points in the unit workspace")
+    print(f"Q: {N} uniform points, workspace slid for each overlap\n")
+
+    header = "overlap   " + "".join(f"{a.upper():>9s}" for a in ALGORITHMS)
+    print(header)
+    print("-" * len(header))
+    for overlap in OVERLAPS:
+        workspace = overlapping_workspace(UNIT_WORKSPACE, overlap)
+        tree_q = bulk_load(uniform_points(N, workspace, seed=2))
+        costs = []
+        for algorithm in ALGORITHMS:
+            result = k_closest_pairs(
+                tree_p, tree_q, k=1, algorithm=algorithm
+            )
+            costs.append(result.stats.disk_accesses)
+        row = f"{overlap:7.0%}   " + "".join(f"{c:9d}" for c in costs)
+        print(row)
+
+    print(
+        "\nShape to expect (paper Sections 4.3.2, 4.4): disjoint "
+        "workspaces cost orders of magnitude less than fully "
+        "overlapping ones, and zero/low overlap gives STD and HEAP a "
+        "serious advantage over EXH and SIM."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro -- a reproduction of "Closest Pair Queries in Spatial
+Databases" (Corral, Manolopoulos, Theodoridis & Vassilakopoulos,
+SIGMOD 2000).
+
+The package answers K Closest Pair Queries (K-CPQs) between two point
+sets indexed by disk-based R*-trees, reproducing the paper's five
+algorithms, its incremental-join baseline and its full experimental
+evaluation.  See README.md for a tour and DESIGN.md for the system
+inventory.
+
+Most applications only need::
+
+    from repro import bulk_load, k_closest_pairs
+
+    tree_p = bulk_load(points_p)
+    tree_q = bulk_load(points_q)
+    result = k_closest_pairs(tree_p, tree_q, k=10)
+"""
+
+from repro.core.api import closest_pair, k_closest_pairs
+from repro.core.result import ClosestPair, CPQResult
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree, RTreeConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "k_closest_pairs",
+    "closest_pair",
+    "ClosestPair",
+    "CPQResult",
+    "RTree",
+    "RTreeConfig",
+    "bulk_load",
+    "__version__",
+]

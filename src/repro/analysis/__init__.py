@@ -1,0 +1,27 @@
+"""Analytical study of CPQ cost (paper Section 6, future work (b)).
+
+"The analytical study of CPQs, extending related work in spatial
+joins [Theodoridis, Stefanakis & Sellis] and nearest-neighbor queries
+[Papadopoulos & Manolopoulos]."
+
+:mod:`~repro.analysis.cost_model` predicts the disk accesses of a
+closest pair query from the *shapes* of the two R-trees (node counts
+and average directory-rectangle extents per level) and the workspace
+geometry, without executing the query.  A validation benchmark
+(``benchmarks/test_cost_model.py``) compares predictions with
+measurements across the overlap sweep.
+"""
+
+from repro.analysis.cost_model import (
+    TreeShape,
+    estimate_closest_pair_distance,
+    estimate_cpq_accesses,
+    interval_proximity_probability,
+)
+
+__all__ = [
+    "TreeShape",
+    "estimate_cpq_accesses",
+    "estimate_closest_pair_distance",
+    "interval_proximity_probability",
+]

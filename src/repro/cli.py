@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+Five subcommands cover the library's workflow end to end::
+
+    repro-cpq generate --kind sequoia --n 10000 --out sites.npy
+    repro-cpq generate --kind uniform --n 10000 --overlap 0.5 --out q.npy
+    repro-cpq build sites.npy --tree sites.pages
+    repro-cpq info --tree sites.pages
+    repro-cpq query sites.npy q.npy --k 10 --algorithm heap
+    repro-cpq figure fig04 --quick
+
+``query`` accepts either raw point files (trees are built in memory)
+or page files produced by ``build``.  Also runnable as
+``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.api import ALGORITHMS, k_closest_pairs
+from repro.datasets import (
+    UNIT_WORKSPACE,
+    load_points,
+    overlapping_workspace,
+    save_points,
+    sequoia_like,
+    uniform_points,
+)
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.paged_file import PagedFile
+from repro.storage.store import FilePageStore
+
+
+def _meta_path(tree_path: str) -> str:
+    return tree_path + ".meta.json"
+
+
+def _load_tree(path: str) -> RTree:
+    """Open a tree from a .pages file, or build one from a points file."""
+    if path.endswith(".pages"):
+        with open(_meta_path(path)) as handle:
+            metadata = json.load(handle)
+        store = FilePageStore(path, metadata["page_size"])
+        return RTree.from_storage(PagedFile(store), metadata)
+    return bulk_load(load_points(path))
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    workspace = UNIT_WORKSPACE
+    if args.overlap is not None:
+        workspace = overlapping_workspace(UNIT_WORKSPACE, args.overlap)
+    if args.kind == "uniform":
+        points = uniform_points(
+            args.n, workspace, seed=args.seed, grid=args.grid
+        )
+    else:
+        points = sequoia_like(args.n, workspace, seed=args.seed)
+    save_points(args.out, points)
+    print(f"wrote {len(points)} {args.kind} points to {args.out}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    points = load_points(args.points)
+    store = FilePageStore(args.tree, 1024)
+    tree = bulk_load(points, file=PagedFile(store))
+    with open(_meta_path(args.tree), "w") as handle:
+        json.dump(tree.metadata(), handle)
+    store.flush()
+    store.close()
+    print(
+        f"built R*-tree over {len(points)} points: height {tree.height}, "
+        f"{tree.node_count()} nodes -> {args.tree}"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    print(f"tree: {args.tree}")
+    print(f"  points:   {len(tree)}")
+    print(f"  height:   {tree.height}")
+    print(f"  capacity: M={tree.max_entries} m={tree.min_entries}")
+    print(f"  variant:  {tree.config.variant}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    tree_p = _load_tree(args.left)
+    tree_q = _load_tree(args.right)
+    result = k_closest_pairs(
+        tree_p,
+        tree_q,
+        k=args.k,
+        algorithm=args.algorithm,
+        buffer_pages=args.buffer,
+    )
+    for rank, pair in enumerate(result.pairs, start=1):
+        print(f"{rank:4d}  {pair.p}  {pair.q}  {pair.distance:.9f}")
+    print(
+        f"# {result.algorithm}: {result.stats.disk_accesses} disk "
+        f"accesses, {result.stats.node_pairs_visited} node pairs, "
+        f"{result.stats.distance_computations} distance computations"
+    )
+    return 0
+
+
+def cmd_knn(args: argparse.Namespace) -> int:
+    from repro.query import nearest_neighbors
+
+    tree = _load_tree(args.tree)
+    found = nearest_neighbors(tree, (args.x, args.y), k=args.k)
+    for rank, (distance, entry) in enumerate(found, start=1):
+        print(f"{rank:4d}  {entry.point}  oid={entry.oid}  "
+              f"{distance:.9f}")
+    print(f"# {tree.stats.disk_reads} disk accesses")
+    return 0
+
+
+def cmd_range(args: argparse.Namespace) -> int:
+    from repro.geometry.mbr import MBR
+    from repro.query import range_query
+
+    tree = _load_tree(args.tree)
+    window = MBR((args.xmin, args.ymin), (args.xmax, args.ymax))
+    found = range_query(tree, window)
+    for entry in found:
+        print(f"{entry.point}  oid={entry.oid}")
+    print(f"# {len(found)} points, {tree.stats.disk_reads} disk accesses")
+    return 0
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    from repro.query import distance_range_join
+    from repro.storage.stats import QueryStats
+
+    tree_p = _load_tree(args.left)
+    tree_q = _load_tree(args.right)
+    tree_p.file.reset_for_query()
+    tree_q.file.reset_for_query()
+    stats = QueryStats()
+    pairs = distance_range_join(tree_p, tree_q, args.epsilon, stats=stats)
+    limit = args.limit if args.limit is not None else len(pairs)
+    for pair in pairs[:limit]:
+        print(f"{pair.p}  {pair.q}  {pair.distance:.9f}")
+    if limit < len(pairs):
+        print(f"... and {len(pairs) - limit} more")
+    print(f"# {len(pairs)} pairs within {args.epsilon}, "
+          f"{stats.disk_accesses} disk accesses")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure
+
+    table = run_figure(args.figure, quick=args.quick)
+    print(table.render())
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cpq",
+        description=(
+            "K closest pair queries over R*-trees "
+            "(Corral et al., SIGMOD 2000 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a point data set"
+    )
+    generate.add_argument("--kind", choices=("uniform", "sequoia"),
+                          default="uniform")
+    generate.add_argument("--n", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--overlap", type=float, default=None,
+        help="place in a workspace overlapping the unit one by this "
+             "portion (0..1)",
+    )
+    generate.add_argument(
+        "--grid", type=int, default=None,
+        help="snap coordinates to a grid x grid lattice",
+    )
+    generate.add_argument("--out", required=True,
+                          help="output file (.npy or .csv)")
+    generate.set_defaults(func=cmd_generate)
+
+    build = sub.add_parser(
+        "build", help="build a persistent R*-tree over a points file"
+    )
+    build.add_argument("points", help="input points (.npy or .csv)")
+    build.add_argument("--tree", required=True,
+                       help="output page file (.pages)")
+    build.set_defaults(func=cmd_build)
+
+    info = sub.add_parser("info", help="describe a built tree")
+    info.add_argument("--tree", required=True)
+    info.set_defaults(func=cmd_info)
+
+    query = sub.add_parser(
+        "query", help="run a K closest pairs query"
+    )
+    query.add_argument("left", help="points file or .pages tree")
+    query.add_argument("right", help="points file or .pages tree")
+    query.add_argument("--k", type=int, default=1)
+    query.add_argument("--algorithm", choices=ALGORITHMS, default="heap")
+    query.add_argument("--buffer", type=int, default=0,
+                       help="total LRU buffer pages (B/2 per tree)")
+    query.set_defaults(func=cmd_query)
+
+    knn = sub.add_parser("knn", help="k nearest neighbours of a point")
+    knn.add_argument("tree", help="points file or .pages tree")
+    knn.add_argument("--x", type=float, required=True)
+    knn.add_argument("--y", type=float, required=True)
+    knn.add_argument("--k", type=int, default=1)
+    knn.set_defaults(func=cmd_knn)
+
+    window = sub.add_parser("range", help="window (range) query")
+    window.add_argument("tree", help="points file or .pages tree")
+    window.add_argument("--xmin", type=float, required=True)
+    window.add_argument("--ymin", type=float, required=True)
+    window.add_argument("--xmax", type=float, required=True)
+    window.add_argument("--ymax", type=float, required=True)
+    window.set_defaults(func=cmd_range)
+
+    join = sub.add_parser(
+        "join", help="distance range join (all pairs within epsilon)"
+    )
+    join.add_argument("left", help="points file or .pages tree")
+    join.add_argument("right", help="points file or .pages tree")
+    join.add_argument("--epsilon", type=float, required=True)
+    join.add_argument("--limit", type=int, default=None,
+                      help="print at most this many pairs")
+    join.set_defaults(func=cmd_join)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure.add_argument("figure", help="figure id, e.g. fig04")
+    figure.add_argument("--quick", action="store_true",
+                        help="tiny cardinalities (seconds)")
+    figure.add_argument("--csv", default=None,
+                        help="also write the table as CSV")
+    figure.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

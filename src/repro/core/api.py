@@ -1,0 +1,125 @@
+"""Public entry points for closest pair queries.
+
+:func:`k_closest_pairs` runs any of the five algorithms on two R-trees
+and returns a :class:`~repro.core.result.CPQResult` carrying the K
+pairs and the cost statistics.  :func:`closest_pair` is the 1-CPQ
+convenience wrapper.
+
+Example
+-------
+>>> from repro.rtree.bulk import bulk_load
+>>> from repro.core import k_closest_pairs
+>>> sites = bulk_load([(0.0, 0.0), (5.0, 5.0)])
+>>> resorts = bulk_load([(1.0, 1.0), (9.0, 9.0)])
+>>> result = k_closest_pairs(sites, resorts, k=1, algorithm="heap")
+>>> result.pairs[0].p, result.pairs[0].q
+((0.0, 0.0), (1.0, 1.0))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import CPQContext
+from repro.core.exhaustive import exhaustive
+from repro.core.heap import heap_algorithm
+from repro.core.height import FIX_AT_ROOT
+from repro.core.naive import naive
+from repro.core.result import ClosestPair, CPQResult
+from repro.core.simple import simple
+from repro.core.sorted_distances import sorted_distances
+from repro.core.ties import TieBreak
+from repro.geometry.minkowski import EUCLIDEAN, MinkowskiMetric
+from repro.rtree.tree import RTree
+
+#: Algorithm registry; keys accepted by :func:`k_closest_pairs`.
+ALGORITHMS = ("naive", "exh", "sim", "std", "heap")
+
+
+def k_closest_pairs(
+    tree_p: RTree,
+    tree_q: RTree,
+    k: int = 1,
+    algorithm: str = "heap",
+    *,
+    metric: MinkowskiMetric = EUCLIDEAN,
+    height_strategy: str = FIX_AT_ROOT,
+    tie_break: Optional[TieBreak] = None,
+    buffer_pages: Optional[int] = None,
+    reset_stats: bool = True,
+    maxmax_pruning: bool = True,
+) -> CPQResult:
+    """Find the K closest pairs between the points of two R-trees.
+
+    Parameters
+    ----------
+    tree_p, tree_q:
+        The two indexed point sets.
+    k:
+        Number of pairs to report (``1`` gives the 1-CPQ special case
+        with its stronger MINMAXDIST pruning).
+    algorithm:
+        One of ``"naive"``, ``"exh"``, ``"sim"``, ``"std"``, ``"heap"``.
+    metric:
+        Minkowski metric; Euclidean by default.
+    height_strategy:
+        ``"fix-at-root"`` (paper's recommendation) or
+        ``"fix-at-leaves"`` for trees of different heights.
+    tie_break:
+        MINMINDIST tie-break chain for STD/HEAP (anything accepted by
+        :meth:`TieBreak.parse`); default T1.
+    buffer_pages:
+        Total LRU buffer size B; each tree receives B // 2 pages
+        (Section 4.3.3).  ``None`` leaves the trees' buffers as-is.
+    reset_stats:
+        Reset I/O counters and cold-start the buffers before running,
+        so the result's statistics describe exactly this query.
+    maxmax_pruning:
+        For K > 1 with SIM/STD/HEAP: use the MAXMAXDIST accumulation
+        bound of Section 3.8 (the paper's implemented variant); off
+        falls back to the plain K-heap-threshold modification.
+
+    Returns
+    -------
+    CPQResult
+        Pairs sorted by ascending distance plus cost statistics.
+    """
+    algorithm = algorithm.lower()
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ties = TieBreak.parse(tie_break) if tie_break is not None else None
+    if buffer_pages is not None:
+        if buffer_pages < 0:
+            raise ValueError("buffer_pages must be >= 0")
+        tree_p.file.set_buffer_capacity(buffer_pages // 2)
+        tree_q.file.set_buffer_capacity(buffer_pages // 2)
+    if reset_stats:
+        tree_p.file.reset_for_query()
+        tree_q.file.reset_for_query()
+
+    ctx = CPQContext(tree_p, tree_q, k, metric)
+    if algorithm == "naive":
+        return naive(ctx, height_strategy)
+    if algorithm == "exh":
+        return exhaustive(ctx, height_strategy)
+    if algorithm == "sim":
+        return simple(ctx, height_strategy, maxmax_pruning)
+    if algorithm == "std":
+        return sorted_distances(ctx, height_strategy, ties, maxmax_pruning)
+    return heap_algorithm(ctx, height_strategy, ties, maxmax_pruning)
+
+
+def closest_pair(
+    tree_p: RTree,
+    tree_q: RTree,
+    algorithm: str = "heap",
+    **kwargs,
+) -> Optional[ClosestPair]:
+    """The single closest pair (1-CPQ), or ``None`` if either set is
+    empty."""
+    result = k_closest_pairs(tree_p, tree_q, k=1, algorithm=algorithm, **kwargs)
+    return result.pairs[0] if result.pairs else None

@@ -1,0 +1,403 @@
+"""Shared machinery of the CPQ algorithms.
+
+The four pruning algorithms of the paper differ only in *policy*:
+
+===========  =======  ==================  ==========
+algorithm    prunes   tightens T from     processing order
+===========  =======  ==================  ==========
+NAIVE        no       --                  natural
+EXH          yes      found pairs only    natural
+SIM          yes      + MINMAXDIST        natural
+STD          yes      + MINMAXDIST        ascending MINMINDIST (+ ties)
+HEAP         yes      + MINMAXDIST        global ascending MINMINDIST
+===========  =======  ==================  ==========
+
+This module implements the shared mechanics: the query context (K-heap,
+pruning bound ``T``, statistics), vectorised leaf-pair scanning,
+candidate generation with the height strategies of Section 3.7, the
+K > 1 bound update from MAXMAXDIST (Section 3.8), and the recursive
+driver parameterised by :class:`CPQOptions`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.height import (
+    EXPAND_BOTH,
+    EXPAND_P,
+    EXPAND_Q,
+    FIX_AT_ROOT,
+    expansion,
+    validate_strategy,
+)
+from repro.core.kheap import KHeap
+from repro.core.result import ClosestPair, CPQResult
+from repro.core.ties import CandidateGeometry, TieBreak
+from repro.geometry.minkowski import EUCLIDEAN, MinkowskiMetric
+from repro.geometry.vectorized import (
+    pairwise_maxdist,
+    pairwise_mindist,
+    pairwise_minmaxdist,
+    pairwise_point_distances,
+)
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.storage.stats import QueryStats
+
+
+@dataclass
+class CPQOptions:
+    """Policy knobs distinguishing the algorithms."""
+
+    #: Skip candidate pairs with MINMINDIST > T (all but NAIVE).
+    prune: bool = True
+    #: Tighten T from MINMAXDIST (K = 1) / MAXMAXDIST (K > 1) before
+    #: descending (SIM, STD, HEAP).
+    update_bound: bool = True
+    #: Process candidates in ascending MINMINDIST order (STD, HEAP).
+    sort: bool = False
+    #: Tie-break chain for equal MINMINDIST (STD, HEAP); None keeps the
+    #: stable sort / insertion order.
+    tie_break: Optional[TieBreak] = None
+    #: Height strategy for trees of different heights (Section 3.7).
+    height_strategy: str = FIX_AT_ROOT
+    #: For K > 1: use the MAXMAXDIST accumulation bound (the paper's
+    #: "alternative, although more complicated, modification").
+    maxmax_k_pruning: bool = True
+
+    def __post_init__(self) -> None:
+        validate_strategy(self.height_strategy)
+
+
+class CPQContext:
+    """Mutable state of one query execution."""
+
+    def __init__(
+        self,
+        tree_p: RTree,
+        tree_q: RTree,
+        k: int,
+        metric: MinkowskiMetric = EUCLIDEAN,
+    ):
+        if tree_p.dimension != tree_q.dimension:
+            raise ValueError("trees index points of different dimensions")
+        self.tree_p = tree_p
+        self.tree_q = tree_q
+        self.k = k
+        self.metric = metric
+        self.kheap = KHeap(k)
+        #: Extra upper bound on the K-th best distance, tightened from
+        #: MINMAXDIST / MAXMAXDIST (independent of the K-heap content).
+        self.bound = math.inf
+        self.stats = QueryStats()
+        # Read each root exactly once; algorithms reuse these handles so
+        # context construction plus execution costs two root I/Os total.
+        self.root_p = tree_p.read_root()
+        self.root_q = tree_q.read_root()
+        self.root_area_p = self.root_p.mbr().area() if self.root_p else 1.0
+        self.root_area_q = self.root_q.mbr().area() if self.root_q else 1.0
+
+    @property
+    def t(self) -> float:
+        """The pruning bound T: best of the K-heap top and the metric
+        bound."""
+        return min(self.kheap.threshold, self.bound)
+
+    def update_bound(self, value: float) -> None:
+        if value < self.bound:
+            self.bound = value
+
+    def offer(self, entry_p, entry_q, distance: float) -> None:
+        self.kheap.offer(
+            ClosestPair(
+                distance=float(distance),
+                p=entry_p.point,
+                q=entry_q.point,
+                p_oid=entry_p.oid,
+                q_oid=entry_q.oid,
+            )
+        )
+
+    def result(self, algorithm: str) -> CPQResult:
+        self.stats.merge_io(self.tree_p.stats, self.tree_q.stats)
+        return CPQResult(
+            pairs=self.kheap.sorted_pairs(),
+            stats=self.stats,
+            algorithm=algorithm,
+            k=self.k,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Leaf-pair scanning (step CP3)
+# ---------------------------------------------------------------------------
+
+def scan_leaf_pair(ctx: CPQContext, leaf_p: Node, leaf_q: Node) -> None:
+    """Compute all point-pair distances of two leaves and update the
+    K-heap (step CP3 of every algorithm)."""
+    distances = pairwise_point_distances(
+        leaf_p.points_array(), leaf_q.points_array(), ctx.metric
+    )
+    ctx.stats.distance_computations += distances.size
+    if ctx.k == 1:
+        flat = int(np.argmin(distances))
+        i, j = divmod(flat, distances.shape[1])
+        d = float(distances[i, j])
+        if d <= ctx.t:
+            ctx.offer(leaf_p.entries[i], leaf_q.entries[j], d)
+        return
+    rows, cols = np.nonzero(distances <= ctx.t)
+    if rows.size == 0:
+        return
+    values = distances[rows, cols]
+    # Offer in ascending order so the K-heap threshold tightens fastest.
+    order = np.argsort(values, kind="stable")
+    for r in order:
+        d = float(values[r])
+        if d > ctx.t:
+            break
+        ctx.offer(leaf_p.entries[rows[r]], leaf_q.entries[cols[r]], d)
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation (steps CP2 / CP2.1)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CandidateSet:
+    """The surviving child pairs of one visited node pair.
+
+    ``idx_p`` / ``idx_q`` address entries of the expanded side(s); a
+    fixed (unexpanded) side is represented by index 0 into the visited
+    node itself.
+    """
+
+    node_p: Node
+    node_q: Node
+    expand_p: bool
+    expand_q: bool
+    minmin: np.ndarray  # (n_candidates,)
+    idx_p: np.ndarray
+    idx_q: np.ndarray
+    minmax: Optional[np.ndarray] = None  # same shape, when computed
+
+    def child_nodes(self, ctx: CPQContext, position: int):
+        """Read (with I/O accounting) the node pair of one candidate."""
+        if self.expand_p:
+            entry = self.node_p.entries[int(self.idx_p[position])]
+            node_p = ctx.tree_p.read_node(entry.child_id)
+        else:
+            node_p = self.node_p
+        if self.expand_q:
+            entry = self.node_q.entries[int(self.idx_q[position])]
+            node_q = ctx.tree_q.read_node(entry.child_id)
+        else:
+            node_q = self.node_q
+        return node_p, node_q
+
+    def geometry(self, ctx: CPQContext, position: int) -> CandidateGeometry:
+        """Geometric context of one candidate (for tie criteria)."""
+        mbr_p = (
+            self.node_p.entries[int(self.idx_p[position])].mbr
+            if self.expand_p
+            else self.node_p.mbr()
+        )
+        mbr_q = (
+            self.node_q.entries[int(self.idx_q[position])].mbr
+            if self.expand_q
+            else self.node_q.mbr()
+        )
+        minmax = (
+            float(self.minmax[position]) if self.minmax is not None else None
+        )
+        return CandidateGeometry(
+            mbr_p=mbr_p,
+            mbr_q=mbr_q,
+            minmax=minmax,
+            root_area_p=ctx.root_area_p,
+            root_area_q=ctx.root_area_q,
+        )
+
+    def __len__(self) -> int:
+        return len(self.minmin)
+
+
+def _side_arrays(node: Node, expand: bool):
+    if expand:
+        return node.lo_array(), node.hi_array()
+    mbr = node.mbr()
+    return (
+        np.array([mbr.lo], dtype=float),
+        np.array([mbr.hi], dtype=float),
+    )
+
+
+def _guaranteed_points(tree: RTree, node: Node, expanded: bool) -> np.ndarray:
+    """Minimum number of points under each candidate reference.
+
+    A non-root node at level ``l`` holds at least ``m ** (l + 1)``
+    points (minimum occupancy compounds per level).  Children of a
+    visited node are never roots; a fixed side may be the root, for
+    which only weaker guarantees hold.
+    """
+    m = tree.min_entries
+    if expanded:
+        # children are non-root nodes at level node.level - 1
+        return np.full(len(node.entries), m ** node.level, dtype=float)
+    if node.page_id == tree.root_id:
+        guaranteed = 1 if node.is_leaf else 2 * m ** node.level
+    else:
+        guaranteed = m ** (node.level + 1)
+    return np.array([guaranteed], dtype=float)
+
+
+def _kcp_bound_from_maxmax(
+    minmax: np.ndarray,
+    maxmax: np.ndarray,
+    counts: np.ndarray,
+    k: int,
+) -> float:
+    """Upper bound on the K-th smallest pair distance (Section 3.8).
+
+    Each candidate MBR pair guarantees one point pair within its
+    MINMAXDIST (Inequality 2) and ``counts`` point pairs within its
+    MAXMAXDIST (Inequality 1, right).  The point-pair populations of
+    distinct candidates are disjoint, so sorting the guarantees by
+    distance and accumulating counts until K are covered yields a valid
+    bound on the K-th best distance.
+    """
+    values = np.concatenate([minmax, maxmax])
+    weights = np.concatenate(
+        [np.ones_like(minmax), np.maximum(counts - 1.0, 0.0)]
+    )
+    order = np.argsort(values, kind="stable")
+    cumulative = np.cumsum(weights[order])
+    position = int(np.searchsorted(cumulative, k))
+    if position >= len(values):
+        return math.inf
+    return float(values[order][position])
+
+
+def generate_candidates(
+    ctx: CPQContext, node_p: Node, node_q: Node, options: CPQOptions
+) -> CandidateSet:
+    """Steps CP2/CP2.1: form child MBR pairs, tighten T, prune by
+    MINMINDIST."""
+    side = expansion(node_p, node_q, options.height_strategy)
+    expand_p = side in (EXPAND_BOTH, EXPAND_P)
+    expand_q = side in (EXPAND_BOTH, EXPAND_Q)
+    lo_p, hi_p = _side_arrays(node_p, expand_p)
+    lo_q, hi_q = _side_arrays(node_q, expand_q)
+
+    minmin = pairwise_mindist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+    minmax_matrix = None
+    if options.update_bound:
+        minmax_matrix = pairwise_minmaxdist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+        if ctx.k == 1:
+            ctx.update_bound(float(minmax_matrix.min()))
+        elif options.maxmax_k_pruning:
+            maxmax = pairwise_maxdist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+            counts = (
+                _guaranteed_points(ctx.tree_p, node_p, expand_p)[:, None]
+                * _guaranteed_points(ctx.tree_q, node_q, expand_q)[None, :]
+            )
+            ctx.update_bound(
+                _kcp_bound_from_maxmax(
+                    minmax_matrix.ravel(),
+                    maxmax.ravel(),
+                    counts.ravel(),
+                    ctx.k,
+                )
+            )
+
+    flat = minmin.ravel()
+    columns = minmin.shape[1]
+    if options.prune:
+        keep = np.nonzero(flat <= ctx.t)[0]
+    else:
+        keep = np.arange(flat.size)
+    return CandidateSet(
+        node_p=node_p,
+        node_q=node_q,
+        expand_p=expand_p,
+        expand_q=expand_q,
+        minmin=flat[keep],
+        idx_p=keep // columns,
+        idx_q=keep % columns,
+        minmax=minmax_matrix.ravel()[keep] if minmax_matrix is not None else None,
+    )
+
+
+def order_candidates(
+    ctx: CPQContext, candidates: CandidateSet, options: CPQOptions
+) -> np.ndarray:
+    """Processing order of a candidate set.
+
+    Natural (index) order unless ``options.sort``; then a stable
+    mergesort on MINMINDIST (the paper found MergeSort best), with the
+    tie-break chain applied inside runs of equal MINMINDIST only --
+    tie keys are comparatively expensive and ties are what they exist
+    for.
+    """
+    if not options.sort:
+        return np.arange(len(candidates))
+    order = np.argsort(candidates.minmin, kind="stable")
+    if options.tie_break is None or len(order) < 2:
+        return order
+    values = candidates.minmin[order]
+    result: List[int] = []
+    run_start = 0
+    for i in range(1, len(order) + 1):
+        if i < len(order) and values[i] == values[run_start]:
+            continue
+        run = order[run_start:i]
+        if len(run) > 1:
+            run = sorted(
+                run,
+                key=lambda pos: options.tie_break.key(
+                    candidates.geometry(ctx, int(pos))
+                ),
+            )
+        result.extend(int(r) for r in run)
+        run_start = i
+    return np.array(result, dtype=int)
+
+
+# ---------------------------------------------------------------------------
+# Recursive driver (NAIVE, EXH, SIM, STD)
+# ---------------------------------------------------------------------------
+
+def run_recursive(
+    ctx: CPQContext, options: CPQOptions, algorithm: str
+) -> CPQResult:
+    """Execute a recursive CPQ algorithm configured by ``options``."""
+    if ctx.root_p is None or ctx.root_q is None:
+        return ctx.result(algorithm)
+    _visit(ctx, ctx.root_p, ctx.root_q, options)
+    return ctx.result(algorithm)
+
+
+def _visit(
+    ctx: CPQContext, node_p: Node, node_q: Node, options: CPQOptions
+) -> None:
+    ctx.stats.node_pairs_visited += 1
+    if node_p.is_leaf and node_q.is_leaf:
+        scan_leaf_pair(ctx, node_p, node_q)
+        return
+    candidates = generate_candidates(ctx, node_p, node_q, options)
+    order = order_candidates(ctx, candidates, options)
+    for position in order:
+        # T may have tightened since generation; re-check before paying
+        # the I/O of the descent.
+        if options.prune:
+            if candidates.minmin[position] > ctx.t:
+                if options.sort:
+                    break  # sorted ascending: the rest are no better
+                continue
+        child_p, child_q = candidates.child_nodes(ctx, int(position))
+        _visit(ctx, child_p, child_q, options)

@@ -1,0 +1,55 @@
+"""Strategies for trees of different heights (Section 3.7).
+
+When the two R-trees differ in height, a visited pair may hold nodes at
+different levels.  Two strategies decide which side(s) to expand:
+
+* ``fix-at-leaves`` -- the classic spatial-join treatment: descend both
+  trees together; once one side reaches a leaf, keep it fixed and
+  continue descending the other.
+* ``fix-at-root`` -- the paper's novel alternative: fix the *shorter*
+  tree's node immediately (at its root level) and descend only the
+  taller tree until both sides sit at the same level, then descend
+  together.
+
+Levels are counted from the leaves (leaf = 0), so "same level" is
+directly comparable across trees.
+"""
+
+from __future__ import annotations
+
+from repro.rtree.node import Node
+
+FIX_AT_LEAVES = "fix-at-leaves"
+FIX_AT_ROOT = "fix-at-root"
+
+STRATEGIES = (FIX_AT_LEAVES, FIX_AT_ROOT)
+
+EXPAND_BOTH = "both"
+EXPAND_P = "p"
+EXPAND_Q = "q"
+
+
+def validate_strategy(strategy: str) -> str:
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown height strategy {strategy!r}; expected one of "
+            f"{STRATEGIES}"
+        )
+    return strategy
+
+
+def expansion(node_p: Node, node_q: Node, strategy: str) -> str:
+    """Which side(s) of a visited pair to expand.
+
+    Never called with two leaves (that is the distance-scan base case).
+    """
+    if node_p.is_leaf and node_q.is_leaf:
+        raise ValueError("leaf/leaf pairs are scanned, not expanded")
+    if node_p.is_leaf:
+        return EXPAND_Q
+    if node_q.is_leaf:
+        return EXPAND_P
+    if strategy == FIX_AT_ROOT and node_p.level != node_q.level:
+        # Descend only the taller side until the levels meet.
+        return EXPAND_P if node_p.level > node_q.level else EXPAND_Q
+    return EXPAND_BOTH

@@ -1,0 +1,71 @@
+"""The K-heap: running set of the K closest pairs found so far.
+
+Section 3.8: "an extra structure that holds the K Closest Pairs ... is
+organized as a max heap (called K-heap) and holds pairs of points
+according to their distance.  The pair of points with the largest
+distance resides on top."  Once full, its top distance is the pruning
+bound ``T``; a newly discovered pair replaces the top only if closer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator, List, Tuple
+
+from repro.core.result import ClosestPair
+
+
+class KHeap:
+    """Bounded max-heap of the best (smallest-distance) K pairs.
+
+    Implemented over :mod:`heapq` (a min-heap) with negated distances.
+    A monotonically increasing sequence number breaks distance ties so
+    heap items never compare payloads.
+    """
+
+    __slots__ = ("k", "_heap", "_seq")
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._heap: List[Tuple[float, int, ClosestPair]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """Current pruning bound: the K-th best distance, or +inf.
+
+        While the heap has empty slots every pair is a candidate, so
+        the bound is infinite (Section 3.8).
+        """
+        if not self.full:
+            return math.inf
+        return -self._heap[0][0]
+
+    def offer(self, pair: ClosestPair) -> bool:
+        """Consider a pair; returns True when it entered the heap."""
+        if not self.full:
+            self._seq += 1
+            heapq.heappush(self._heap, (-pair.distance, self._seq, pair))
+            return True
+        if pair.distance < self.threshold:
+            self._seq += 1
+            heapq.heapreplace(self._heap, (-pair.distance, self._seq, pair))
+            return True
+        return False
+
+    def sorted_pairs(self) -> List[ClosestPair]:
+        """The held pairs in ascending distance order."""
+        return sorted(pair for __, __, pair in self._heap)
+
+    def __iter__(self) -> Iterator[ClosestPair]:
+        return (pair for __, __, pair in self._heap)

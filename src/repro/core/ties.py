@@ -1,0 +1,141 @@
+"""Tie-break criteria T1-T5 (Section 3.6).
+
+The STD and HEAP algorithms order candidate MBR pairs by MINMINDIST;
+ties are frequent for overlapping data sets (many pairs share
+MINMINDIST = 0).  The paper proposes five heuristics for choosing
+among tied pairs; T1 is the experimental winner (Figure 2).
+
+Each criterion produces a *sort key* (smaller = processed earlier) from
+a candidate pair.  Criteria can be chained: "in case the criterion we
+use can not resolve the tie, another criterion may be used at a second
+stage."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import minmaxdist
+
+
+@dataclass
+class CandidateGeometry:
+    """The geometric context a tie criterion may consult."""
+
+    mbr_p: MBR
+    mbr_q: MBR
+    #: MINMAXDIST of the pair when the algorithm already computed it.
+    minmax: Optional[float] = None
+    #: Areas of the two tree roots (T1 normalises by them).
+    root_area_p: float = 1.0
+    root_area_q: float = 1.0
+
+    def minmaxdist(self) -> float:
+        if self.minmax is None:
+            self.minmax = minmaxdist(self.mbr_p, self.mbr_q)
+        return self.minmax
+
+
+class TieCriterion:
+    """A named tie-break heuristic."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        key: Callable[[CandidateGeometry], float],
+    ):
+        self.name = name
+        self.description = description
+        self._key = key
+
+    def key(self, candidate: CandidateGeometry) -> float:
+        """Sort key; the smallest key wins the tie."""
+        return self._key(candidate)
+
+    def __repr__(self) -> str:
+        return f"TieCriterion({self.name})"
+
+
+def _t1_largest_root_relative_mbr(c: CandidateGeometry) -> float:
+    # T1: the pair having as one of its elements the largest MBR, with
+    # area expressed as a percentage of the area of the relevant root.
+    rel_p = c.mbr_p.area() / c.root_area_p if c.root_area_p > 0 else 0.0
+    rel_q = c.mbr_q.area() / c.root_area_q if c.root_area_q > 0 else 0.0
+    return -max(rel_p, rel_q)
+
+
+def _t2_smallest_minmaxdist(c: CandidateGeometry) -> float:
+    # T2: the smallest MINMAXDIST between the pair's two elements.
+    return c.minmaxdist()
+
+
+def _t3_largest_area_sum(c: CandidateGeometry) -> float:
+    # T3: the largest sum of the areas of the two elements.
+    return -(c.mbr_p.area() + c.mbr_q.area())
+
+
+def _t4_smallest_dead_space(c: CandidateGeometry) -> float:
+    # T4: the smallest difference between the area of the MBR embedding
+    # both elements and the elements' own areas.
+    embedding = c.mbr_p.union(c.mbr_q).area()
+    return embedding - (c.mbr_p.area() + c.mbr_q.area())
+
+
+def _t5_largest_intersection(c: CandidateGeometry) -> float:
+    # T5: the largest area of intersection between the two elements.
+    return -c.mbr_p.intersection_area(c.mbr_q)
+
+
+T1 = TieCriterion("T1", "largest root-relative MBR", _t1_largest_root_relative_mbr)
+T2 = TieCriterion("T2", "smallest MINMAXDIST", _t2_smallest_minmaxdist)
+T3 = TieCriterion("T3", "largest sum of areas", _t3_largest_area_sum)
+T4 = TieCriterion("T4", "smallest embedding dead space", _t4_smallest_dead_space)
+T5 = TieCriterion("T5", "largest intersection area", _t5_largest_intersection)
+
+#: All five criteria by name, as evaluated in Figure 2.
+TIE_CRITERIA: Dict[str, TieCriterion] = {
+    t.name: t for t in (T1, T2, T3, T4, T5)
+}
+
+
+class TieBreak:
+    """A chain of criteria applied in order (first that differs wins)."""
+
+    def __init__(self, criteria: Sequence[TieCriterion]):
+        self.criteria = list(criteria)
+
+    @classmethod
+    def parse(cls, spec) -> "TieBreak":
+        """Accept a TieBreak, a criterion, a name, or a name sequence."""
+        if isinstance(spec, TieBreak):
+            return spec
+        if isinstance(spec, TieCriterion):
+            return cls([spec])
+        if isinstance(spec, str):
+            return cls([_lookup(spec)])
+        return cls([
+            c if isinstance(c, TieCriterion) else _lookup(c) for c in spec
+        ])
+
+    def key(self, candidate: CandidateGeometry) -> Tuple[float, ...]:
+        return tuple(c.key(candidate) for c in self.criteria)
+
+    def __repr__(self) -> str:
+        return "TieBreak(" + "+".join(c.name for c in self.criteria) + ")"
+
+
+def _lookup(name: str) -> TieCriterion:
+    try:
+        return TIE_CRITERIA[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown tie criterion {name!r}; expected one of "
+            f"{sorted(TIE_CRITERIA)}"
+        ) from None
+
+
+#: The default used by STD and HEAP -- the paper's winner.
+DEFAULT_TIE_BREAK = TieBreak([T1])

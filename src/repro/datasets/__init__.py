@@ -1,0 +1,38 @@
+"""Workload generators and dataset utilities.
+
+The paper's experiments use (i) groups of uniform-like random sets of
+20K-80K points, (ii) the real Sequoia California sites (62,536 points)
+and (iii) an equally sized uniform set, with the *portion of workspace
+overlap* between the two joined sets as the key control variable.
+
+This subpackage generates deterministic equivalents:
+
+* :func:`~repro.datasets.uniform.uniform_points` -- seeded uniform
+  points in a workspace.
+* :func:`~repro.datasets.sequoia.sequoia_like` -- a clustered synthetic
+  stand-in for the Sequoia point set (see DESIGN.md, substitutions).
+* :class:`~repro.datasets.workspace.Workspace` and
+  :func:`~repro.datasets.workspace.overlapping_workspace` -- workspace
+  placement with an exact overlap portion.
+* :mod:`~repro.datasets.io` -- save/load point sets.
+"""
+
+from repro.datasets.io import load_points, save_points
+from repro.datasets.sequoia import SEQUOIA_CARDINALITY, sequoia_like
+from repro.datasets.uniform import uniform_points
+from repro.datasets.workspace import (
+    UNIT_WORKSPACE,
+    Workspace,
+    overlapping_workspace,
+)
+
+__all__ = [
+    "uniform_points",
+    "sequoia_like",
+    "SEQUOIA_CARDINALITY",
+    "Workspace",
+    "UNIT_WORKSPACE",
+    "overlapping_workspace",
+    "save_points",
+    "load_points",
+]

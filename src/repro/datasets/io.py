@@ -1,0 +1,35 @@
+"""Point-set persistence.
+
+Two formats: ``.npy`` (fast, exact) and ``.csv`` (interoperable).
+Format is chosen by file extension.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def save_points(path: str, points: np.ndarray) -> None:
+    """Save an (n, 2) point array as .npy or .csv by extension."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError("expected a 2-d point array")
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        np.save(path, pts)
+    elif ext == ".csv":
+        np.savetxt(path, pts, delimiter=",", header="x,y", comments="")
+    else:
+        raise ValueError(f"unsupported extension {ext!r}; use .npy or .csv")
+
+
+def load_points(path: str) -> np.ndarray:
+    """Load a point array saved by :func:`save_points`."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        return np.load(path)
+    if ext == ".csv":
+        return np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    raise ValueError(f"unsupported extension {ext!r}; use .npy or .csv")

@@ -1,0 +1,111 @@
+"""Workspaces and overlap placement.
+
+A *workspace* is the rectangle a data set is generated in.  The paper
+varies the "portion of overlapping between the two workspaces" from 0 %
+to 100 %; with equal-size square workspaces, sliding one horizontally
+so that a fraction ``o`` of its area lies inside the other realises
+exactly that portion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+
+
+@dataclass(frozen=True)
+class Workspace:
+    """An axis-aligned 2-d generation rectangle."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin >= self.xmax or self.ymin >= self.ymax:
+            raise ValueError("workspace must have positive extent")
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def as_mbr(self) -> MBR:
+        return MBR((self.xmin, self.ymin), (self.xmax, self.ymax))
+
+    def place(self, unit_points: np.ndarray) -> np.ndarray:
+        """Map points from the unit square into this workspace."""
+        pts = np.asarray(unit_points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError("expected an (n, 2) point array")
+        out = np.empty_like(pts)
+        out[:, 0] = self.xmin + pts[:, 0] * self.width
+        out[:, 1] = self.ymin + pts[:, 1] * self.height
+        return out
+
+    def overlap_portion(self, other: "Workspace") -> float:
+        """Fraction of this workspace's area covered by ``other``."""
+        w = max(0.0, min(self.xmax, other.xmax) - max(self.xmin, other.xmin))
+        h = max(0.0, min(self.ymax, other.ymax) - max(self.ymin, other.ymin))
+        return (w * h) / self.area
+
+
+#: The canonical base workspace.
+UNIT_WORKSPACE = Workspace(0.0, 0.0, 1.0, 1.0)
+
+
+def overlapping_workspace(
+    base: Workspace, portion: float, gap: float = 0.25
+) -> Workspace:
+    """A workspace of the same size overlapping ``base`` by ``portion``.
+
+    ``portion = 1.0`` coincides with ``base``; ``portion = 0.0`` is
+    disjoint, separated horizontally by ``gap`` times the base width
+    (a strictly positive gap keeps the 0 %-overlap configurations of
+    the paper's figures clearly disjoint).
+    """
+    if not 0.0 <= portion <= 1.0:
+        raise ValueError("overlap portion must be in [0, 1]")
+    if portion == 0.0:
+        shift = base.width * (1.0 + gap)
+    else:
+        # Sliding right by (1 - portion) * width leaves exactly
+        # ``portion`` of the area overlapping.
+        shift = base.width * (1.0 - portion)
+    return Workspace(
+        base.xmin + shift, base.ymin, base.xmax + shift, base.ymax
+    )
+
+
+def points_overlap_portion(
+    points: np.ndarray, workspace: Workspace
+) -> float:
+    """Fraction of ``points`` falling inside ``workspace`` (diagnostic)."""
+    pts = np.asarray(points, dtype=float)
+    inside = (
+        (pts[:, 0] >= workspace.xmin)
+        & (pts[:, 0] <= workspace.xmax)
+        & (pts[:, 1] >= workspace.ymin)
+        & (pts[:, 1] <= workspace.ymax)
+    )
+    return float(inside.mean()) if len(pts) else 0.0
+
+
+def workspace_pair(
+    portion: float,
+) -> Tuple[Workspace, Workspace]:
+    """The standard experiment configuration: the base unit workspace
+    and a second one overlapping it by ``portion``."""
+    return UNIT_WORKSPACE, overlapping_workspace(UNIT_WORKSPACE, portion)

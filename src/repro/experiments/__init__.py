@@ -1,0 +1,22 @@
+"""The experiment harness: one runner per paper figure.
+
+Every figure of the paper's evaluation (Figures 2-10) has a module
+``figNN`` exposing ``run(quick=False) -> Table``.  ``quick=True``
+shrinks cardinalities so the full pipeline executes in seconds (used by
+the integration tests); the regular mode is controlled by two
+environment variables (see :mod:`~repro.experiments.config`):
+
+* ``REPRO_SCALE`` -- fraction of the paper's cardinalities (default
+  0.25; set 1 for full paper-size runs).
+* ``REPRO_BUILD`` -- ``str`` (default, fast bulk loading) or
+  ``dynamic`` (one-at-a-time R* insertion, maximum fidelity).
+
+The ``benchmarks/`` tree wires each figure into pytest-benchmark and
+prints the regenerated table next to the paper's expected shape.
+"""
+
+from repro.experiments.chart import series_chart
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.report import Table
+
+__all__ = ["FIGURES", "run_figure", "Table", "series_chart"]

@@ -1,0 +1,89 @@
+"""Text charts for experiment tables.
+
+The paper presents its results as line charts (often log-scale); the
+harness complements each regenerated table with a horizontal-bar text
+chart so the *shape* -- who wins, by what factor, where the crossover
+falls -- is visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.experiments.report import Table, format_value
+
+BAR_WIDTH = 40
+
+
+def _bar(value: float, lo: float, hi: float, log: bool) -> str:
+    if value <= 0:
+        return ""
+    if log:
+        lo = max(lo, 1.0)
+        if hi <= lo:
+            return "#" * BAR_WIDTH
+        fraction = (math.log10(max(value, lo)) - math.log10(lo)) / (
+            math.log10(hi) - math.log10(lo)
+        )
+    else:
+        fraction = value / hi if hi > 0 else 0.0
+    return "#" * max(1, round(fraction * BAR_WIDTH))
+
+
+def series_chart(
+    table: Table,
+    x: str,
+    series: str,
+    value: str,
+    log: bool = True,
+    title: Optional[str] = None,
+    **filters,
+) -> str:
+    """Render one column as grouped horizontal bars.
+
+    ``x`` picks the grouping column (e.g. ``"k"``), ``series`` the
+    per-group lines (e.g. ``"algorithm"``), ``value`` the numeric
+    column.  Extra keyword filters restrict rows first, mirroring
+    :meth:`Table.select`.
+    """
+    rows = table.select(**filters) if filters else list(table.rows)
+    if not rows:
+        raise ValueError(f"no rows match {filters}")
+    columns = list(table.columns)
+    xi = columns.index(x)
+    si = columns.index(series)
+    vi = columns.index(value)
+
+    values = [float(r[vi]) for r in rows if float(r[vi]) > 0]
+    lo = min(values) if values else 1.0
+    hi = max(values) if values else 1.0
+
+    x_order: Sequence = list(dict.fromkeys(r[xi] for r in rows))
+    s_order: Sequence = list(dict.fromkeys(r[si] for r in rows))
+    label_width = max(len(str(s)) for s in s_order)
+
+    lines = []
+    heading = title or (
+        f"{value} by {x} / {series}"
+        + (f"  [{filters}]" if filters else "")
+        + ("  (log scale)" if log else "")
+    )
+    lines.append(heading)
+    lines.append("-" * len(heading))
+    for x_value in x_order:
+        lines.append(f"{x} = {format_value(x_value)}")
+        for s_value in s_order:
+            matching = [
+                r for r in rows
+                if r[xi] == x_value and r[si] == s_value
+            ]
+            if not matching:
+                continue
+            v = float(matching[0][vi])
+            bar = _bar(v, lo, hi, log)
+            lines.append(
+                f"  {str(s_value):<{label_width}}  "
+                f"{bar:<{BAR_WIDTH}} {format_value(matching[0][vi])}"
+            )
+    return "\n".join(lines)

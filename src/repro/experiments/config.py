@@ -1,0 +1,78 @@
+"""Experiment-wide configuration.
+
+The paper's setup (Section 4): 1 KiB pages (R*-tree capacity M = 21,
+m = 7), uniform sets of 20K-80K points, the 62,536-point Sequoia set
+and its uniform twin, LRU buffers of 0-256 pages split evenly between
+the trees.
+
+Because a pure-Python run of every figure at full size takes hours,
+cardinalities are multiplied by ``REPRO_SCALE`` (default 0.25) and the
+K sweep is truncated proportionally.  All comparisons in the paper are
+*relative* (algorithm vs algorithm at equal configuration), so scaling
+preserves every qualitative conclusion; set ``REPRO_SCALE=1`` to
+reproduce the original sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
+
+
+#: Fraction of the paper's cardinalities to use.
+SCALE = _env_float("REPRO_SCALE", 0.25)
+if not 0.0 < SCALE <= 1.0:
+    raise ValueError("REPRO_SCALE must be in (0, 1]")
+
+#: Tree construction: "str" (bulk) or "dynamic" (R* insertion).
+BUILD = os.environ.get("REPRO_BUILD", "str")
+if BUILD not in ("str", "dynamic"):
+    raise ValueError("REPRO_BUILD must be 'str' or 'dynamic'")
+
+#: Page size used throughout (gives M = 21, m = 7).
+PAGE_SIZE = 1024
+
+#: LRU buffer sweep of Figures 6 and 9 (total pages B).
+BUFFER_SIZES = (0, 4, 16, 64, 256)
+
+#: Cardinality of the real data set (Sequoia California sites).
+REAL_CARDINALITY = 62_536
+
+#: The paper's uniform cardinalities.
+UNIFORM_CARDINALITIES = (20_000, 40_000, 60_000, 80_000)
+
+#: Quick-mode shrink factor relative to the paper sizes (used by the
+#: integration tests: every figure must execute in seconds).
+QUICK_SCALE = 0.02
+
+
+def scaled(n: int, quick: bool = False) -> int:
+    """A paper cardinality scaled to the configured run size."""
+    factor = QUICK_SCALE if quick else SCALE
+    return max(200, round(n * factor))
+
+
+def k_sweep(quick: bool = False, full_max: int = 100_000) -> list:
+    """The K values of Figures 7-10, truncated proportionally to scale.
+
+    The paper sweeps K in decades up to 100,000 (about 1.6x the real
+    cardinality); the truncation keeps the same K-to-cardinality ratio.
+    """
+    factor = QUICK_SCALE if quick else SCALE
+    ceiling = max(10, round(full_max * factor))
+    values = [k for k in (1, 10, 100, 1_000, 10_000, 100_000) if k <= ceiling]
+    return values
+
+
+def overlap_sweep() -> tuple:
+    """The overlap portions of Figures 5 and 8."""
+    return (0.0, 0.03, 0.06, 0.12, 0.25, 0.5, 1.0)

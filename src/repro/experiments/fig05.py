@@ -1,0 +1,61 @@
+"""Figure 5: finding a threshold on the overlap factor (1-CPQ).
+
+Paper setup: relative cost of SIM, STD and HEAP with respect to EXH,
+real vs uniform 40K and 80K, overlap portion swept from 0 % to 100 %,
+zero buffer.
+
+Expected shape: for small overlap (up to ~5 %) the three pruning
+algorithms are 2-20x faster than EXH (relative cost far below 100 %);
+as overlap grows the advantage shrinks; full overlap is orders of
+magnitude costlier than disjoint for every algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import config
+from repro.experiments.report import Table
+from repro.experiments.runner import run_cpq
+from repro.experiments.trees import get_tree, real_spec, uniform_spec
+
+ALGORITHMS = ("exh", "sim", "std", "heap")
+CARDINALITIES = (40_000, 80_000)
+
+
+def run(quick: bool = False) -> Table:
+    n_real = config.scaled(config.REAL_CARDINALITY, quick)
+    table = Table(
+        title=(
+            f"Figure 5: overlap threshold, real({n_real}) vs uniform, "
+            "B=0, 1-CPQ (cost relative to EXH)"
+        ),
+        columns=(
+            "combo", "overlap_pct", "algorithm",
+            "disk_accesses", "relative_to_exh_pct",
+        ),
+        notes=(
+            "Paper shape: <=5% overlap makes SIM/STD/HEAP 2-20x faster "
+            "than EXH; full overlap costs orders of magnitude more than "
+            "disjoint."
+        ),
+    )
+    tree_p = get_tree(real_spec(n_real))
+    for cardinality in CARDINALITIES:
+        n = config.scaled(cardinality, quick)
+        combo = f"R/{n}"
+        for overlap in config.overlap_sweep():
+            tree_q = get_tree(uniform_spec(n, overlap))
+            exh_cost = None
+            for algorithm in ALGORITHMS:
+                result = run_cpq(tree_p, tree_q, algorithm, k=1)
+                cost = result.stats.disk_accesses
+                if algorithm == "exh":
+                    exh_cost = cost
+                relative = 100.0 * cost / exh_cost if exh_cost else 100.0
+                table.add(
+                    combo,
+                    round(overlap * 100),
+                    algorithm.upper(),
+                    cost,
+                    round(relative, 1),
+                )
+    return table

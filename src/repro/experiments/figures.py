@@ -1,0 +1,45 @@
+"""Registry of figure runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+)
+from repro.experiments.report import Table
+
+#: Figure id -> runner.  Figure 1 is the metric illustration (covered
+#: by the geometry tests and the quickstart example), so runners start
+#: at Figure 2, the first experimental chart.
+FIGURES: Dict[str, Callable[..., Table]] = {
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+}
+
+
+def run_figure(figure_id: str, quick: bool = False) -> Table:
+    """Run one figure's experiment by id (e.g. ``"fig04"``)."""
+    try:
+        runner = FIGURES[figure_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure_id!r}; expected one of "
+            f"{sorted(FIGURES)}"
+        ) from None
+    return runner(quick=quick)

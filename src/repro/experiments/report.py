@@ -1,0 +1,99 @@
+"""Plain-text experiment tables.
+
+Each figure runner returns a :class:`Table`; benchmarks print it so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the paper's
+numbers as readable rows, and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10_000 else str(value)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of experiment results."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row of {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> List:
+        """All values of one column, in row order."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def select(self, **filters) -> List[Sequence]:
+        """Rows whose named columns equal the given values."""
+        indices = {
+            name: list(self.columns).index(name) for name in filters
+        }
+        return [
+            row
+            for row in self.rows
+            if all(row[indices[n]] == v for n, v in filters.items())
+        ]
+
+    def value(self, column: str, **filters):
+        """The single value of ``column`` in the unique row matching
+        ``filters``."""
+        rows = self.select(**filters)
+        if len(rows) != 1:
+            raise ValueError(
+                f"expected exactly one row for {filters}, found {len(rows)}"
+            )
+        return rows[0][list(self.columns).index(column)]
+
+    def render(self) -> str:
+        cells = [[format_value(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            str(c).ljust(w) for c, w in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(v.rjust(w) for v, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def to_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    def __str__(self) -> str:
+        return self.render()

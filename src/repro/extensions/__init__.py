@@ -1,0 +1,26 @@
+"""Extensions from the paper's future-work section (Section 6).
+
+* :mod:`~repro.extensions.self_cpq` -- Self-CPQ: both data sets are the
+  same entity (P = Q); result pairs must consist of two distinct
+  points.
+* :mod:`~repro.extensions.semi_cpq` -- Semi-CPQ: for each point of P,
+  its nearest point of Q (each P point appears exactly once).
+* :mod:`~repro.extensions.multiway` -- multi-way CPQ: the K closest
+  *tuples* across m data sets under a chain or clique aggregate.
+"""
+
+from repro.extensions.multiway import (
+    ClosestTuple,
+    MultiwayResult,
+    multiway_closest_tuples,
+)
+from repro.extensions.self_cpq import self_k_closest_pairs
+from repro.extensions.semi_cpq import semi_closest_pairs
+
+__all__ = [
+    "self_k_closest_pairs",
+    "semi_closest_pairs",
+    "multiway_closest_tuples",
+    "ClosestTuple",
+    "MultiwayResult",
+]

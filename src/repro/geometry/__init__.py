@@ -1,0 +1,49 @@
+"""Geometric primitives and distance metrics.
+
+This subpackage provides the building blocks used by every other part of
+the library:
+
+* :class:`~repro.geometry.mbr.MBR` -- axis-aligned minimum bounding
+  rectangles in arbitrary dimension.
+* :mod:`~repro.geometry.minkowski` -- the family of Minkowski metrics
+  (the paper uses Euclidean distance but notes that "the presented
+  methods can be easily adapted to any Minkowski metric").
+* :mod:`~repro.geometry.metrics` -- the MBR-to-MBR metrics of Section
+  2.3 of the paper: MINMINDIST, MINMAXDIST and MAXMAXDIST, together
+  with the point-to-MBR metrics of Roussopoulos et al. used by the
+  K-nearest-neighbour substrate query.
+* :mod:`~repro.geometry.vectorized` -- NumPy batch versions of the
+  metrics, used on the hot paths of the CPQ algorithms.
+"""
+
+from repro.geometry.mbr import MBR
+from repro.geometry.minkowski import (
+    EUCLIDEAN,
+    CHEBYSHEV,
+    MANHATTAN,
+    MinkowskiMetric,
+)
+from repro.geometry.metrics import (
+    maxdist,
+    maxmaxdist,
+    mindist,
+    minmaxdist,
+    minmindist,
+    point_mbr_mindist,
+    point_mbr_minmaxdist,
+)
+
+__all__ = [
+    "MBR",
+    "MinkowskiMetric",
+    "EUCLIDEAN",
+    "MANHATTAN",
+    "CHEBYSHEV",
+    "mindist",
+    "maxdist",
+    "minmindist",
+    "minmaxdist",
+    "maxmaxdist",
+    "point_mbr_mindist",
+    "point_mbr_minmaxdist",
+]

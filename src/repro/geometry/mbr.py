@@ -1,0 +1,206 @@
+"""Axis-aligned minimum bounding rectangles (MBRs).
+
+An :class:`MBR` is the basic shape stored in every R-tree node.  MBRs
+are immutable; operations that "modify" a rectangle (union, extension)
+return a new one.  Dimension is arbitrary (the paper focuses on 2-d but
+notes the extension to k-d is straightforward; we support both).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Point = Tuple[float, ...]
+
+
+class MBR:
+    """An axis-aligned box given by per-dimension (low, high) bounds."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        if len(lo) != len(hi):
+            raise ValueError("lo and hi must have the same dimension")
+        if len(lo) == 0:
+            raise ValueError("MBR must have at least one dimension")
+        for low, high in zip(lo, hi):
+            if low > high:
+                raise ValueError(f"invalid MBR bounds: lo={lo} hi={hi}")
+        self.lo: Point = tuple(float(v) for v in lo)
+        self.hi: Point = tuple(float(v) for v in hi)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, lo: Point, hi: Point) -> "MBR":
+        """Internal fast path: bounds already validated float tuples.
+
+        Used by union/intersection-style operations whose outputs are
+        valid by construction; skips the per-coordinate checks that
+        dominate hot loops.
+        """
+        box = object.__new__(cls)
+        box.lo = lo
+        box.hi = hi
+        return box
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "MBR":
+        """The degenerate MBR covering a single point."""
+        return cls(point, point)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Sequence[float]]) -> "MBR":
+        """The tightest MBR covering all the given points."""
+        it = iter(points)
+        try:
+            first = tuple(next(it))
+        except StopIteration:
+            raise ValueError("cannot bound an empty point collection")
+        lo = list(first)
+        hi = list(first)
+        for p in it:
+            for d, v in enumerate(p):
+                if v < lo[d]:
+                    lo[d] = v
+                elif v > hi[d]:
+                    hi[d] = v
+        return cls(lo, hi)
+
+    @classmethod
+    def union_all(cls, boxes: Iterable["MBR"]) -> "MBR":
+        """The tightest MBR covering all the given boxes."""
+        it = iter(boxes)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot union an empty box collection")
+        lo = list(first.lo)
+        hi = list(first.hi)
+        for b in it:
+            for d in range(len(lo)):
+                if b.lo[d] < lo[d]:
+                    lo[d] = b.lo[d]
+                if b.hi[d] > hi[d]:
+                    hi[d] = b.hi[d]
+        return cls._trusted(tuple(lo), tuple(hi))
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return len(self.lo)
+
+    @property
+    def center(self) -> Point:
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    def side(self, d: int) -> float:
+        """Extent of the box along dimension ``d``."""
+        return self.hi[d] - self.lo[d]
+
+    def area(self) -> float:
+        """Volume of the box (area in 2-d)."""
+        result = 1.0
+        for l, h in zip(self.lo, self.hi):
+            result *= h - l
+        return result
+
+    def margin(self) -> float:
+        """Sum of side lengths (half-perimeter in 2-d); the R* split measure."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    # -- predicates --------------------------------------------------------
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return all(
+            l <= v <= h for v, l, h in zip(point, self.lo, self.hi)
+        )
+
+    def contains(self, other: "MBR") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        return all(
+            sl <= oh and ol <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    # -- combination ---------------------------------------------------------
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR._trusted(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def intersection(self, other: "MBR") -> "MBR | None":
+        """The overlap box, or ``None`` when the boxes are disjoint."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return MBR(lo, hi)
+
+    def intersection_area(self, other: "MBR") -> float:
+        """Area of overlap with ``other`` (0.0 when disjoint)."""
+        result = 1.0
+        for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            side = min(sh, oh) - max(sl, ol)
+            if side <= 0.0:
+                return 0.0
+            result *= side
+        return result
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed for this box to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def extended_to_point(self, point: Sequence[float]) -> "MBR":
+        return MBR._trusted(
+            tuple(min(l, float(v)) for l, v in zip(self.lo, point)),
+            tuple(max(h, float(v)) for h, v in zip(self.hi, point)),
+        )
+
+    # -- faces ----------------------------------------------------------------
+
+    def faces(self) -> Iterator["MBR"]:
+        """Yield the 2k faces of the box as degenerate MBRs.
+
+        Each face fixes one dimension to one of its bounds; the paper's
+        MBR property guarantees at least one indexed point lies on each
+        face, which is what makes MINMAXDIST a valid upper bound.
+        """
+        for d in range(self.dimension):
+            for bound in (self.lo[d], self.hi[d]):
+                lo = list(self.lo)
+                hi = list(self.hi)
+                lo[d] = hi[d] = bound
+                yield MBR(lo, hi)
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the 2^k corner points of the box."""
+        dims = self.dimension
+        for mask in range(1 << dims):
+            yield tuple(
+                self.hi[d] if mask & (1 << d) else self.lo[d]
+                for d in range(dims)
+            )
+
+    # -- niceties ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MBR)
+            and other.lo == self.lo
+            and other.hi == self.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"MBR(lo={self.lo}, hi={self.hi})"

@@ -1,0 +1,25 @@
+"""Incremental distance-join algorithms of Hjaltason & Samet (1998).
+
+The comparison baseline of the paper (Sections 3.9 and 5.2).  A single
+priority queue keyed by distance holds items of four types --
+node/node, node/object, object/node and object/object -- and pairs are
+reported *incrementally*, in ascending distance order, as object/object
+items surface.
+
+Three tree-traversal policies are implemented, as in the original
+paper and the comparison experiments:
+
+* ``BAS`` -- basic: always expand one designated tree's node first.
+* ``EVN`` -- even: expand the node at the shallower depth.
+* ``SML`` -- simultaneous: expand both nodes of a node/node pair.
+
+plus the two distance-tie policies (depth-first / breadth-first).
+"""
+
+from repro.incremental.distance_join import (
+    POLICIES,
+    incremental_distance_join,
+    k_distance_join,
+)
+
+__all__ = ["incremental_distance_join", "k_distance_join", "POLICIES"]

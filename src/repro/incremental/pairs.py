@@ -1,0 +1,55 @@
+"""Priority-queue items of the incremental distance join.
+
+Each side of a pair is either a *node reference* (page id plus the MBR
+and level recorded in its parent entry -- the node itself is read only
+when the pair is expanded) or an *object* (a leaf entry; for point
+data the object and its bounding rectangle coincide, so Hjaltason &
+Samet's node/obr and node/object item types collapse into one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import mindist, point_mbr_mindist
+from repro.geometry.minkowski import MinkowskiMetric
+from repro.rtree.entries import LeafEntry
+
+#: Objects are "deeper than any leaf" for the depth tie policies.
+OBJECT_LEVEL = -1
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """An un-read node: page id plus the geometry its parent recorded."""
+
+    page_id: int
+    mbr: MBR
+    level: int
+
+
+Side = Union[NodeRef, LeafEntry]
+
+
+def side_level(side: Side) -> int:
+    """Tree level of one pair side (objects count as deepest)."""
+    return side.level if isinstance(side, NodeRef) else OBJECT_LEVEL
+
+
+def is_object(side: Side) -> bool:
+    return isinstance(side, LeafEntry)
+
+
+def pair_distance(a: Side, b: Side, metric: MinkowskiMetric) -> float:
+    """Queue key: MINMINDIST / MINDIST / true distance by item type."""
+    a_obj = is_object(a)
+    b_obj = is_object(b)
+    if a_obj and b_obj:
+        return metric.distance(a.point, b.point)
+    if a_obj:
+        return point_mbr_mindist(a.point, b.mbr, metric)
+    if b_obj:
+        return point_mbr_mindist(b.point, a.mbr, metric)
+    return mindist(a.mbr, b.mbr, metric)

@@ -1,0 +1,20 @@
+"""Classic spatial queries over a single R-tree.
+
+These are the substrate queries named in the paper's introduction
+(point location, range, nearest neighbour).  Besides being part of any
+credible spatial-database library, they cross-validate the R-tree
+implementation: the test suite checks each against brute force.
+"""
+
+from repro.query.epsilon_join import distance_range_join
+from repro.query.knn import nearest_neighbor, nearest_neighbors
+from repro.query.point_location import point_location
+from repro.query.range_query import range_query
+
+__all__ = [
+    "range_query",
+    "point_location",
+    "nearest_neighbors",
+    "nearest_neighbor",
+    "distance_range_join",
+]

@@ -1,0 +1,90 @@
+"""K-nearest-neighbour query (best-first branch and bound).
+
+Implements the priority-queue formulation of Roussopoulos et al. /
+Hjaltason & Samet over the point-to-MBR MINDIST metric.  The queue
+mixes node references (keyed by MINDIST to their MBR, read from disk
+only when they surface) and points (keyed by true distance); when a
+point surfaces it is nearest among everything unseen.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.metrics import point_mbr_mindist
+from repro.geometry.minkowski import EUCLIDEAN, MinkowskiMetric
+from repro.rtree.entries import LeafEntry
+from repro.rtree.tree import RTree
+
+_NODE = 0
+_POINT = 1
+
+
+def nearest_neighbors(
+    tree: RTree,
+    point: Sequence[float],
+    k: int = 1,
+    metric: MinkowskiMetric = EUCLIDEAN,
+) -> List[Tuple[float, LeafEntry]]:
+    """Return the ``k`` nearest entries to ``point`` as (distance, entry).
+
+    Results are sorted by ascending distance.  Fewer than ``k`` results
+    are returned when the tree holds fewer points.  Nodes are fetched
+    lazily: a subtree costs an I/O only if its MINDIST beats the
+    current k-th candidate, which is what makes the query sublinear.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    query = tuple(float(v) for v in point)
+    if len(query) != tree.dimension:
+        raise ValueError("point dimension does not match the tree")
+    results: List[Tuple[float, LeafEntry]] = []
+    if tree.root_id is None:
+        return results
+
+    counter = 0  # tie-breaker so heap never compares payloads
+    # Items: (distance, kind, counter, page_id or LeafEntry)
+    heap: List[Tuple[float, int, int, object]] = [
+        (0.0, _NODE, counter, tree.root_id)
+    ]
+
+    while heap:
+        distance, kind, __, payload = heapq.heappop(heap)
+        if kind == _POINT:
+            results.append((distance, payload))
+            if len(results) == k:
+                break
+            continue
+        node = tree.read_node(payload)
+        if node.is_leaf:
+            for entry in node.entries:
+                counter += 1
+                heap_entry = (
+                    metric.distance(query, entry.point),
+                    _POINT,
+                    counter,
+                    entry,
+                )
+                heapq.heappush(heap, heap_entry)
+        else:
+            for entry in node.entries:
+                counter += 1
+                heap_entry = (
+                    point_mbr_mindist(query, entry.mbr, metric),
+                    _NODE,
+                    counter,
+                    entry.child_id,
+                )
+                heapq.heappush(heap, heap_entry)
+    return results
+
+
+def nearest_neighbor(
+    tree: RTree,
+    point: Sequence[float],
+    metric: MinkowskiMetric = EUCLIDEAN,
+) -> Optional[Tuple[float, LeafEntry]]:
+    """The single nearest entry, or ``None`` for an empty tree."""
+    found = nearest_neighbors(tree, point, k=1, metric=metric)
+    return found[0] if found else None

@@ -1,0 +1,30 @@
+"""Point-location query: all indexed objects at an exact location."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.rtree.entries import LeafEntry
+from repro.rtree.tree import RTree
+
+
+def point_location(tree: RTree, point: Sequence[float]) -> List[LeafEntry]:
+    """Return every leaf entry located exactly at ``point``."""
+    target = tuple(float(v) for v in point)
+    if len(target) != tree.dimension:
+        raise ValueError("point dimension does not match the tree")
+    results: List[LeafEntry] = []
+    if tree.root_id is None:
+        return results
+    stack = [tree.root_id]
+    while stack:
+        node = tree.read_node(stack.pop())
+        if node.is_leaf:
+            results.extend(e for e in node.entries if e.point == target)
+        else:
+            stack.extend(
+                e.child_id
+                for e in node.entries
+                if e.mbr.contains_point(target)
+            )
+    return results

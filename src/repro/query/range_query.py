@@ -1,0 +1,36 @@
+"""Range (window) query: all points inside a query rectangle."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geometry.mbr import MBR
+from repro.rtree.entries import LeafEntry
+from repro.rtree.tree import RTree
+
+
+def range_query(tree: RTree, window: MBR) -> List[LeafEntry]:
+    """Return every leaf entry whose point lies inside ``window``.
+
+    Standard R-tree descent: a subtree is visited only if its directory
+    MBR intersects the window.
+    """
+    if window.dimension != tree.dimension:
+        raise ValueError("window dimension does not match the tree")
+    results: List[LeafEntry] = []
+    if tree.root_id is None:
+        return results
+    stack = [tree.root_id]
+    while stack:
+        node = tree.read_node(stack.pop())
+        if node.is_leaf:
+            results.extend(
+                e for e in node.entries if window.contains_point(e.point)
+            )
+        else:
+            stack.extend(
+                e.child_id
+                for e in node.entries
+                if window.intersects(e.mbr)
+            )
+    return results

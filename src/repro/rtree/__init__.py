@@ -1,0 +1,20 @@
+"""The R-tree family over paged storage.
+
+The paper stores each point set in an R*-tree (Beckmann et al. 1990),
+"considered the most efficient variant of the R-tree family", with
+nodes implemented as disk pages.  This subpackage provides:
+
+* :class:`~repro.rtree.tree.RTree` -- the disk-based tree with dynamic
+  insertion and deletion; the split policy selects between the classic
+  Guttman quadratic split and the R* split with forced reinsertion.
+* :mod:`~repro.rtree.bulk` -- Sort-Tile-Recursive bulk loading for
+  fast experiment setup.
+* :mod:`~repro.rtree.validate` -- structural invariant checking used
+  by the test suite.
+"""
+
+from repro.rtree.entries import InternalEntry, LeafEntry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree, RTreeConfig
+
+__all__ = ["RTree", "RTreeConfig", "Node", "LeafEntry", "InternalEntry"]

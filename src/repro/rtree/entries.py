@@ -1,0 +1,67 @@
+"""Node entry types.
+
+A leaf entry carries an indexed point and its object id; an internal
+entry carries the MBR of a child node and the child's page id.  Both
+expose ``mbr`` so split and choose-subtree logic can treat them
+uniformly (a point is its own degenerate MBR).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.geometry.mbr import MBR
+
+
+class LeafEntry:
+    """A point and the identifier of the database object it represents."""
+
+    __slots__ = ("point", "oid", "_mbr")
+
+    def __init__(self, point: Tuple[float, ...], oid: int):
+        self.point = tuple(float(v) for v in point)
+        self.oid = int(oid)
+        self._mbr = None
+
+    @property
+    def mbr(self) -> MBR:
+        # Cached: split/choose-subtree logic touches this in tight loops.
+        if self._mbr is None:
+            self._mbr = MBR(self.point, self.point)
+        return self._mbr
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LeafEntry)
+            and other.point == self.point
+            and other.oid == self.oid
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.point, self.oid))
+
+    def __repr__(self) -> str:
+        return f"LeafEntry(point={self.point}, oid={self.oid})"
+
+
+class InternalEntry:
+    """A child node's MBR and page id."""
+
+    __slots__ = ("mbr", "child_id")
+
+    def __init__(self, mbr: MBR, child_id: int):
+        self.mbr = mbr
+        self.child_id = int(child_id)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InternalEntry)
+            and other.mbr == self.mbr
+            and other.child_id == self.child_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.mbr, self.child_id))
+
+    def __repr__(self) -> str:
+        return f"InternalEntry(mbr={self.mbr}, child_id={self.child_id})"

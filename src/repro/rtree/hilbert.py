@@ -1,0 +1,145 @@
+"""Hilbert-curve utilities and Hilbert-packed bulk loading.
+
+An alternative to STR packing (Kamel & Faloutsos): sort entries by the
+Hilbert value of their centre and fill nodes in curve order.  Hilbert
+packing preserves locality better than independent per-axis tiling on
+skewed data, at the price of slightly less square leaf rectangles.
+
+:func:`hilbert_index` implements the classic d2xy/xy2d bit-twiddling
+transform for a ``2^order x 2^order`` grid (Warren, "Hacker's
+Delight" formulation); it is exact and its properties (bijectivity,
+unit-step adjacency) are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.rtree.bulk import DEFAULT_FILL
+from repro.rtree.entries import InternalEntry, LeafEntry
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.storage.paged_file import PagedFile
+
+#: Grid resolution for curve ordering: 2^16 cells per axis.
+DEFAULT_ORDER = 16
+
+
+def hilbert_index(x: int, y: int, order: int = DEFAULT_ORDER) -> int:
+    """Hilbert-curve distance of cell ``(x, y)`` on a 2^order grid."""
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"cell ({x}, {y}) outside the 2^{order} grid")
+    rx = ry = 0
+    d = 0
+    s = side >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # rotate the quadrant
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hilbert_point(d: int, order: int = DEFAULT_ORDER):
+    """Inverse of :func:`hilbert_index`: curve distance to cell."""
+    side = 1 << order
+    if not 0 <= d < side * side:
+        raise ValueError(f"distance {d} outside the 2^{order} grid curve")
+    x = y = 0
+    t = d
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s <<= 1
+    return x, y
+
+
+def hilbert_sort_key(points: np.ndarray, order: int = DEFAULT_ORDER):
+    """Hilbert values for an (n, 2) point array (normalised first)."""
+    pts = np.asarray(points, dtype=float)
+    mins = pts.min(axis=0)
+    spans = pts.max(axis=0) - mins
+    spans = np.where(spans > 0, spans, 1.0)
+    side = (1 << order) - 1
+    cells = np.clip(
+        ((pts - mins) / spans * side).astype(np.int64), 0, side
+    )
+    return [
+        hilbert_index(int(cx), int(cy), order) for cx, cy in cells
+    ]
+
+
+def hilbert_bulk_load(
+    points: Sequence[Sequence[float]],
+    oids: Optional[Sequence[int]] = None,
+    config: Optional[RTreeConfig] = None,
+    file: Optional[PagedFile] = None,
+    fill: float = DEFAULT_FILL,
+    order: int = DEFAULT_ORDER,
+) -> RTree:
+    """Build an R-tree by packing entries in Hilbert-curve order.
+
+    Only 2-d data is supported (the curve is two-dimensional); use
+    :func:`repro.rtree.bulk.bulk_load` (STR) for other dimensions.
+    """
+    if not 0.0 < fill <= 1.0:
+        raise ValueError("fill must be in (0, 1]")
+    tree = RTree(config, file)
+    if tree.dimension != 2:
+        raise ValueError("Hilbert packing supports 2-d data only")
+    if len(points) == 0:
+        return tree
+    if oids is None:
+        oids = range(len(points))
+    per_node = max(2 * tree.min_entries, int(tree.max_entries * fill))
+    per_node = min(per_node, tree.max_entries)
+
+    pts = np.asarray(points, dtype=float)
+    keys = hilbert_sort_key(pts, order)
+    ordering = sorted(range(len(points)), key=lambda i: keys[i])
+    entries: List = [
+        LeafEntry(tuple(pts[i]), oids[i]) for i in ordering
+    ]
+
+    level = 0
+    while True:
+        groups = [
+            entries[i:i + per_node]
+            for i in range(0, len(entries), per_node)
+        ]
+        # merge a dangling short tail into its predecessor
+        if len(groups) > 1 and len(groups[-1]) < tree.min_entries:
+            tail = groups.pop()
+            merged = groups.pop() + tail
+            half = len(merged) // 2
+            groups.extend([merged[:half], merged[half:]])
+        nodes = []
+        for group in groups:
+            node = tree._new_node(level)
+            node.replace_entries(group)
+            tree._write_node(node)
+            nodes.append(node)
+        if len(nodes) == 1:
+            tree.root_id = nodes[0].page_id
+            tree.height = level + 1
+            tree._count = len(points)
+            return tree
+        entries = [InternalEntry(n.mbr(), n.page_id) for n in nodes]
+        level += 1

@@ -1,0 +1,208 @@
+"""Node split policies.
+
+Two split algorithms are provided:
+
+* :func:`quadratic_split` -- Guttman's original quadratic-cost split,
+  kept as the classic-R-tree baseline.
+* :func:`linear_split` -- Guttman's linear-cost split: seeds are the
+  pair with the greatest normalised separation along any axis.
+* :func:`rstar_split` -- the R* topological split of Beckmann et al.:
+  choose the split axis by minimum total margin over all candidate
+  distributions, then the distribution on that axis by minimum overlap
+  (ties by minimum combined area).
+
+Both operate on plain entry lists (anything exposing ``.mbr``) and
+return the two entry groups, leaving page management to the tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.mbr import MBR
+
+SplitResult = Tuple[List, List]
+
+
+def _group_mbr(entries: Sequence) -> MBR:
+    return MBR.union_all(e.mbr for e in entries)
+
+
+def quadratic_split(entries: Sequence, min_entries: int) -> SplitResult:
+    """Guttman's quadratic split.
+
+    Seeds are the pair of entries wasting the most area if grouped
+    together; remaining entries are assigned one at a time by maximum
+    preference difference, respecting minimum occupancy.
+    """
+    if len(entries) < 2 * min_entries:
+        raise ValueError("not enough entries to split")
+    remaining = list(entries)
+
+    # Pick seeds: the pair with maximum dead space when combined.
+    worst = -1.0
+    seed_a = seed_b = 0
+    for i in range(len(remaining)):
+        mi = remaining[i].mbr
+        for j in range(i + 1, len(remaining)):
+            mj = remaining[j].mbr
+            dead = mi.union(mj).area() - mi.area() - mj.area()
+            if dead > worst:
+                worst = dead
+                seed_a, seed_b = i, j
+    group_a = [remaining[seed_a]]
+    group_b = [remaining[seed_b]]
+    for index in sorted((seed_a, seed_b), reverse=True):
+        remaining.pop(index)
+
+    mbr_a = group_a[0].mbr
+    mbr_b = group_b[0].mbr
+    while remaining:
+        # Force-assign when one group must absorb everything left.
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+        # Choose the entry with the strongest preference.
+        best_index = 0
+        best_diff = -1.0
+        best_growth = (0.0, 0.0)
+        for i, entry in enumerate(remaining):
+            grow_a = mbr_a.union(entry.mbr).area() - mbr_a.area()
+            grow_b = mbr_b.union(entry.mbr).area() - mbr_b.area()
+            diff = abs(grow_a - grow_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_index = i
+                best_growth = (grow_a, grow_b)
+        entry = remaining.pop(best_index)
+        grow_a, grow_b = best_growth
+        if grow_a < grow_b or (
+            grow_a == grow_b and len(group_a) <= len(group_b)
+        ):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.mbr)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.mbr)
+    return group_a, group_b
+
+
+def linear_split(entries: Sequence, min_entries: int) -> SplitResult:
+    """Guttman's linear split.
+
+    Seeds: along each axis find the entry with the highest low side
+    and the entry with the lowest high side; normalise their
+    separation by the axis extent and pick the axis with the greatest
+    normalised separation.  Remaining entries are assigned to the
+    group whose MBR grows least, respecting minimum occupancy.
+    """
+    if len(entries) < 2 * min_entries:
+        raise ValueError("not enough entries to split")
+    remaining = list(entries)
+    dimension = remaining[0].mbr.dimension
+
+    best_separation = -1.0
+    seed_a = 0
+    seed_b = 1
+    for axis in range(dimension):
+        lows = [e.mbr.lo[axis] for e in remaining]
+        highs = [e.mbr.hi[axis] for e in remaining]
+        highest_low = max(range(len(remaining)), key=lambda i: lows[i])
+        lowest_high = min(range(len(remaining)), key=lambda i: highs[i])
+        if highest_low == lowest_high:
+            continue
+        extent = max(highs) - min(lows)
+        if extent <= 0.0:
+            continue
+        separation = (lows[highest_low] - highs[lowest_high]) / extent
+        if separation > best_separation:
+            best_separation = separation
+            seed_a, seed_b = lowest_high, highest_low
+
+    group_a = [remaining[seed_a]]
+    group_b = [remaining[seed_b]]
+    for index in sorted((seed_a, seed_b), reverse=True):
+        remaining.pop(index)
+
+    mbr_a = group_a[0].mbr
+    mbr_b = group_b[0].mbr
+    while remaining:
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+        entry = remaining.pop()
+        grow_a = mbr_a.union(entry.mbr).area() - mbr_a.area()
+        grow_b = mbr_b.union(entry.mbr).area() - mbr_b.area()
+        if grow_a < grow_b or (
+            grow_a == grow_b and len(group_a) <= len(group_b)
+        ):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.mbr)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.mbr)
+    return group_a, group_b
+
+
+def _running_unions(entries: Sequence) -> List[MBR]:
+    """Prefix unions: ``result[i]`` covers ``entries[0..i]``; O(n)."""
+    unions: List[MBR] = []
+    current = entries[0].mbr
+    unions.append(current)
+    for entry in entries[1:]:
+        current = current.union(entry.mbr)
+        unions.append(current)
+    return unions
+
+
+def rstar_split(entries: Sequence, min_entries: int) -> SplitResult:
+    """The R* split (ChooseSplitAxis + ChooseSplitIndex).
+
+    Group MBRs for every candidate distribution come from prefix and
+    suffix union arrays, so each of the 2 x dimension orderings is
+    evaluated in O(n) instead of the naive O(n^2) unions.
+    """
+    if len(entries) < 2 * min_entries:
+        raise ValueError("not enough entries to split")
+    total = len(entries)
+    dimension = entries[0].mbr.dimension
+    best_axis_margin = None
+    best_axis_sortings = None
+
+    def distributions(ordering):
+        """Yield (k, left MBR, right MBR) for each legal split index."""
+        prefix = _running_unions(ordering)
+        suffix = _running_unions(list(reversed(ordering)))
+        for k in range(min_entries, total - min_entries + 1):
+            yield k, prefix[k - 1], suffix[total - k - 1]
+
+    for axis in range(dimension):
+        by_lo = sorted(entries, key=lambda e: (e.mbr.lo[axis], e.mbr.hi[axis]))
+        by_hi = sorted(entries, key=lambda e: (e.mbr.hi[axis], e.mbr.lo[axis]))
+        margin_sum = 0.0
+        for ordering in (by_lo, by_hi):
+            for __, left, right in distributions(ordering):
+                margin_sum += left.margin() + right.margin()
+        if best_axis_margin is None or margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis_sortings = (by_lo, by_hi)
+
+    assert best_axis_sortings is not None
+    best_split = None
+    best_key = None
+    for ordering in best_axis_sortings:
+        for k, mbr_left, mbr_right in distributions(ordering):
+            overlap = mbr_left.intersection_area(mbr_right)
+            area = mbr_left.area() + mbr_right.area()
+            key = (overlap, area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_split = (list(ordering[:k]), list(ordering[k:]))
+    assert best_split is not None
+    return best_split

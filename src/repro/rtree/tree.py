@@ -1,0 +1,465 @@
+"""The disk-based R-tree / R*-tree.
+
+:class:`RTree` glues the pieces together: a :class:`PagedFile` for
+storage and I/O accounting, the :class:`NodeSerializer` for the byte
+layout, a decoded-node cache, and the insertion machinery (ChooseSubtree,
+forced reinsertion and node splits).
+
+The ``variant`` config selects behaviour:
+
+* ``"rstar"`` (default, used by all paper experiments): R* ChooseSubtree
+  with minimum overlap enlargement at the leaf level, the R* margin
+  split, and forced reinsertion of 30 % of the entries on the first
+  overflow per level per insertion (Beckmann et al. 1990).
+* ``"guttman"``: classic Guttman insertion with the quadratic split.
+* ``"linear"``: Guttman insertion with the linear-cost split.
+
+Reading a node through :meth:`read_node` routes the page fetch through
+the LRU buffer, which is how queries accumulate the disk-access counts
+reported by every figure of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+from repro.rtree.entries import InternalEntry, LeafEntry
+from repro.rtree.node import Entry, Node
+from repro.rtree.splits import linear_split, quadratic_split, rstar_split
+from repro.storage.page import PageLayout
+from repro.storage.paged_file import PagedFile
+from repro.storage.serializer import NodeSerializer
+
+VARIANTS = ("rstar", "guttman", "linear")
+
+_SPLITS = {
+    "rstar": rstar_split,
+    "guttman": quadratic_split,
+    "linear": linear_split,
+}
+
+
+@dataclass(frozen=True)
+class RTreeConfig:
+    """Static configuration of one tree."""
+
+    layout: PageLayout = field(default_factory=PageLayout)
+    variant: str = "rstar"
+    #: Fraction of M force-reinserted on overflow (R* recommends 30 %).
+    reinsert_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; expected one of {VARIANTS}"
+            )
+        if not 0.0 < self.reinsert_fraction < 1.0:
+            raise ValueError("reinsert_fraction must be in (0, 1)")
+
+
+class RTree:
+    """A dynamic R-tree over paged storage.
+
+    Parameters
+    ----------
+    config:
+        Structural configuration (page layout, split variant).
+    file:
+        The paged file to store nodes in; a fresh in-memory file with a
+        zero-capacity buffer is created when omitted.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RTreeConfig] = None,
+        file: Optional[PagedFile] = None,
+    ):
+        self.config = config if config is not None else RTreeConfig()
+        layout = self.config.layout
+        self.file = (
+            file if file is not None else PagedFile(page_size=layout.page_size)
+        )
+        if self.file.page_size != layout.page_size:
+            raise ValueError(
+                f"paged file uses {self.file.page_size}-byte pages but the "
+                f"layout expects {layout.page_size}"
+            )
+        self.serializer = NodeSerializer(layout)
+        self.root_id: Optional[int] = None
+        self.height = 0  # number of levels; 0 means empty
+        self._count = 0
+        self._nodes: dict[int, Node] = {}
+        self._reinserted_levels: Set[int] = set()
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def max_entries(self) -> int:
+        return self.config.layout.max_entries
+
+    @property
+    def min_entries(self) -> int:
+        return self.config.layout.min_entries
+
+    @property
+    def dimension(self) -> int:
+        return self.config.layout.dimension
+
+    def __len__(self) -> int:
+        """Number of indexed points."""
+        return self._count
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def stats(self):
+        """The I/O counters of the underlying paged file."""
+        return self.file.stats
+
+    # -- node I/O ------------------------------------------------------------
+
+    def read_node(self, page_id: int) -> Node:
+        """Fetch a node, going through the LRU buffer for I/O accounting.
+
+        Pages are deserialised at most once; the decoded-node cache does
+        not affect the disk-access counts (those are decided solely by
+        the buffer), it only avoids redundant byte decoding.
+        """
+        data = self.file.read_page(page_id)
+        node = self._nodes.get(page_id)
+        if node is None:
+            level, tuples = self.serializer.deserialize(data)
+            node = Node.from_tuples(page_id, level, tuples)
+            self._nodes[page_id] = node
+        return node
+
+    def read_root(self) -> Optional[Node]:
+        if self.root_id is None:
+            return None
+        return self.read_node(self.root_id)
+
+    def _write_node(self, node: Node) -> None:
+        if node.is_leaf:
+            data = self.serializer.serialize_leaf(node.to_tuples())
+        else:
+            data = self.serializer.serialize_internal(
+                node.level, node.to_tuples()
+            )
+        self.file.write_page(node.page_id, data)
+        self._nodes[node.page_id] = node
+
+    def _new_node(self, level: int) -> Node:
+        page_id = self.file.allocate()
+        node = Node(page_id, level)
+        self._nodes[page_id] = node
+        return node
+
+    def _free_node(self, node: Node) -> None:
+        self.file.free_page(node.page_id)
+        self._nodes.pop(node.page_id, None)
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, point: Sequence[float], oid: int) -> None:
+        """Insert one point with its object id."""
+        if len(point) != self.dimension:
+            raise ValueError(
+                f"point of dimension {len(point)}; tree expects "
+                f"{self.dimension}"
+            )
+        entry = LeafEntry(tuple(point), oid)
+        self._count += 1
+        if self.root_id is None:
+            root = self._new_node(0)
+            root.add(entry)
+            self._write_node(root)
+            self.root_id = root.page_id
+            self.height = 1
+            return
+        self._reinserted_levels = set()
+        self._insert_entry(entry, 0)
+
+    def insert_many(self, points, oids=None) -> None:
+        """Insert a batch of points (object ids default to 0..n-1)."""
+        for i, point in enumerate(points):
+            self.insert(point, oids[i] if oids is not None else i)
+
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        """Insert ``entry`` into a node at ``level`` (0 = leaf level)."""
+        path: List[Tuple[Node, int]] = []
+        node = self.read_node(self.root_id)
+        while node.level > level:
+            index = self._choose_subtree(node, entry.mbr)
+            path.append((node, index))
+            node = self.read_node(node.entries[index].child_id)
+        node.add(entry)
+        self._propagate(node, path)
+
+    def _choose_subtree(self, node: Node, mbr: MBR) -> int:
+        """R* ChooseSubtree (or Guttman least-enlargement)."""
+        lo = node.lo_array()
+        hi = node.hi_array()
+        new_lo = np.minimum(lo, mbr.lo)
+        new_hi = np.maximum(hi, mbr.hi)
+        areas = np.prod(hi - lo, axis=1)
+        union_areas = np.prod(new_hi - new_lo, axis=1)
+        enlargements = union_areas - areas
+        if self.config.variant == "rstar" and node.level == 1:
+            # Children are leaves: minimise overlap enlargement, then
+            # area enlargement, then area.
+            n = len(node.entries)
+            overlap_after = np.empty(n)
+            for i in range(n):
+                grown_lo = lo.copy()
+                grown_hi = hi.copy()
+                grown_lo[i] = new_lo[i]
+                grown_hi[i] = new_hi[i]
+                overlap_after[i] = _overlap_with_others(
+                    grown_lo, grown_hi, i
+                )
+            overlap_delta = overlap_after - _overlap_per_entry(lo, hi)
+            order = np.lexsort((areas, enlargements, overlap_delta))
+            return int(order[0])
+        order = np.lexsort((areas, enlargements))
+        return int(order[0])
+
+    def _propagate(self, node: Node, path: List[Tuple[Node, int]]) -> None:
+        """Resolve overflow (reinsert or split) and push MBR updates up."""
+        while True:
+            if len(node.entries) <= self.max_entries:
+                self._write_node(node)
+                self._adjust_path(path, node)
+                return
+            is_root = node.page_id == self.root_id
+            if (
+                self.config.variant == "rstar"
+                and not is_root
+                and node.level not in self._reinserted_levels
+            ):
+                self._reinserted_levels.add(node.level)
+                self._forced_reinsert(node, path)
+                return
+            node, path = self._split(node, path)
+
+    def _split(
+        self, node: Node, path: List[Tuple[Node, int]]
+    ) -> Tuple[Node, List[Tuple[Node, int]]]:
+        split = _SPLITS[self.config.variant]
+        group_a, group_b = split(node.entries, self.min_entries)
+        node.replace_entries(group_a)
+        sibling = self._new_node(node.level)
+        sibling.replace_entries(group_b)
+        self._write_node(node)
+        self._write_node(sibling)
+        if not path:
+            root = self._new_node(node.level + 1)
+            root.add(InternalEntry(node.mbr(), node.page_id))
+            root.add(InternalEntry(sibling.mbr(), sibling.page_id))
+            self._write_node(root)
+            self.root_id = root.page_id
+            self.height += 1
+            return root, []
+        parent, index = path.pop()
+        parent.entries[index] = InternalEntry(node.mbr(), node.page_id)
+        parent.invalidate_caches()
+        parent.add(InternalEntry(sibling.mbr(), sibling.page_id))
+        return parent, path
+
+    def _forced_reinsert(
+        self, node: Node, path: List[Tuple[Node, int]]
+    ) -> None:
+        """R* forced reinsertion: evict the p entries farthest from the
+        node centre and re-insert them (closest first)."""
+        center = node.mbr().center
+        p = max(1, round(self.config.reinsert_fraction * self.max_entries))
+
+        def distance(entry: Entry) -> float:
+            c = entry.mbr.center
+            return math.dist(c, center)
+
+        ordered = sorted(node.entries, key=distance, reverse=True)
+        evicted = ordered[:p]
+        node.replace_entries(ordered[p:])
+        self._write_node(node)
+        self._adjust_path(path, node)
+        for entry in reversed(evicted):  # close reinsert
+            self._insert_entry(entry, node.level)
+
+    def _adjust_path(
+        self, path: List[Tuple[Node, int]], child: Node
+    ) -> None:
+        """Refresh ancestor entry MBRs after ``child`` changed."""
+        for parent, index in reversed(path):
+            entry = parent.entries[index]
+            new_mbr = child.mbr()
+            if entry.mbr == new_mbr:
+                return
+            parent.entries[index] = InternalEntry(new_mbr, entry.child_id)
+            parent.invalidate_caches()
+            self._write_node(parent)
+            child = parent
+
+    # -- deletion --------------------------------------------------------------
+
+    def delete(self, point: Sequence[float], oid: Optional[int] = None) -> bool:
+        """Remove one matching point; returns whether a match was found.
+
+        When ``oid`` is None any entry at the point's location matches.
+        Underfull nodes along the path are dissolved and their entries
+        re-inserted (Guttman's CondenseTree).
+        """
+        if self.root_id is None:
+            return False
+        target = tuple(float(v) for v in point)
+        found = self._find_leaf(
+            self.read_node(self.root_id), target, oid, []
+        )
+        if found is None:
+            return False
+        leaf, index, path = found
+        leaf.remove_at(index)
+        self._count -= 1
+        self._condense(leaf, path)
+        self._shrink_root()
+        return True
+
+    def _find_leaf(self, node, point, oid, path):
+        if node.is_leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.point == point and (oid is None or entry.oid == oid):
+                    return node, i, list(path)
+            return None
+        for i, entry in enumerate(node.entries):
+            if entry.mbr.contains_point(point):
+                child = self.read_node(entry.child_id)
+                path.append((node, i))
+                found = self._find_leaf(child, point, oid, path)
+                if found is not None:
+                    return found
+                path.pop()
+        return None
+
+    def _condense(self, node: Node, path: List[Tuple[Node, int]]) -> None:
+        orphans: List[Tuple[Entry, int]] = []
+        while path:
+            parent, index = path[-1]
+            if len(node.entries) < self.min_entries:
+                for entry in node.entries:
+                    orphans.append((entry, node.level))
+                parent.remove_at(index)
+                self._free_node(node)
+            else:
+                self._write_node(node)
+                self._adjust_path(path, node)
+            node = path.pop()[0]
+        # node is now the root
+        self._write_node(node)
+        for entry, level in orphans:
+            self._reinserted_levels = set()
+            self._insert_entry(entry, level)
+
+    def _shrink_root(self) -> None:
+        while self.root_id is not None:
+            root = self.read_node(self.root_id)
+            if root.is_leaf:
+                if not root.entries:
+                    self._free_node(root)
+                    self.root_id = None
+                    self.height = 0
+                return
+            if len(root.entries) == 1:
+                child_id = root.entries[0].child_id
+                self._free_node(root)
+                self.root_id = child_id
+                self.height -= 1
+            else:
+                return
+
+    # -- persistence ------------------------------------------------------------
+
+    def metadata(self) -> dict:
+        """The out-of-page state needed to reopen this tree later.
+
+        Pages carry all node data; this dict carries the root pointer
+        and counters.  Store it next to a :class:`FilePageStore` file
+        (e.g. as JSON) and pass it to :meth:`from_storage`.
+        """
+        return {
+            "root_id": self.root_id,
+            "height": self.height,
+            "count": self._count,
+            "variant": self.config.variant,
+            "page_size": self.config.layout.page_size,
+            "dimension": self.config.layout.dimension,
+        }
+
+    @classmethod
+    def from_storage(cls, file: PagedFile, metadata: dict) -> "RTree":
+        """Reopen a tree over existing pages (see :meth:`metadata`)."""
+        config = RTreeConfig(
+            layout=PageLayout(
+                page_size=int(metadata["page_size"]),
+                dimension=int(metadata["dimension"]),
+            ),
+            variant=metadata.get("variant", "rstar"),
+        )
+        tree = cls(config, file)
+        tree.root_id = metadata["root_id"]
+        tree.height = int(metadata["height"])
+        tree._count = int(metadata["count"])
+        return tree
+
+    # -- iteration ----------------------------------------------------------------
+
+    def iter_leaf_entries(self) -> Iterator[LeafEntry]:
+        """Yield every indexed (point, oid) entry."""
+        if self.root_id is None:
+            return
+        stack = [self.root_id]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(e.child_id for e in node.entries)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Yield every node (root first, depth-first)."""
+        if self.root_id is None:
+            return
+        stack = [self.root_id]
+        while stack:
+            node = self.read_node(stack.pop())
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child_id for e in node.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(variant={self.config.variant!r}, points={self._count}, "
+            f"height={self.height}, nodes={self.node_count()})"
+        )
+
+
+def _overlap_per_entry(lo, hi) -> np.ndarray:
+    sides = np.minimum(hi[:, None, :], hi[None, :, :]) - np.maximum(
+        lo[:, None, :], lo[None, :, :]
+    )
+    np.maximum(sides, 0.0, out=sides)
+    areas = np.prod(sides, axis=2)
+    np.fill_diagonal(areas, 0.0)
+    return areas.sum(axis=1)
+
+
+def _overlap_with_others(lo, hi, index: int) -> float:
+    sides = np.minimum(hi[index], hi) - np.maximum(lo[index], lo)
+    np.maximum(sides, 0.0, out=sides)
+    areas = np.prod(sides, axis=1)
+    areas[index] = 0.0
+    return float(areas.sum())

@@ -1,0 +1,35 @@
+"""Simulated disk storage: pages, page stores and the LRU buffer pool.
+
+The paper measures algorithm cost in *disk accesses*: every R-tree node
+fetch that is not satisfied by an LRU buffer counts as one access.  This
+subpackage provides that substrate:
+
+* :mod:`~repro.storage.page` -- page-size arithmetic and node capacity
+  derivation (1 KiB pages give the paper's M = 21).
+* :mod:`~repro.storage.serializer` -- real byte-level (de)serialisation
+  of R-tree nodes into fixed-size pages.
+* :mod:`~repro.storage.store` -- page stores: an in-memory store for
+  experiments and a file-backed store proving the layout really fits.
+* :mod:`~repro.storage.buffer` -- the LRU buffer pool with hit/miss
+  accounting (Section 4.3.3 dedicates B/2 pages to each tree).
+* :mod:`~repro.storage.stats` -- I/O counters reported by every
+  experiment.
+"""
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.page import PageLayout
+from repro.storage.paged_file import PagedFile
+from repro.storage.serializer import NodeSerializer
+from repro.storage.stats import IOStats
+from repro.storage.store import FilePageStore, MemoryPageStore, PageStore
+
+__all__ = [
+    "PageLayout",
+    "NodeSerializer",
+    "PageStore",
+    "MemoryPageStore",
+    "FilePageStore",
+    "LRUBuffer",
+    "PagedFile",
+    "IOStats",
+]

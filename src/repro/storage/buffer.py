@@ -1,0 +1,76 @@
+"""LRU buffer pool with hit/miss accounting.
+
+Section 4.3.3 of the paper studies algorithm sensitivity to an LRU
+buffer of B pages, "dedicated to each R-tree as two equal portions of
+B/2 pages".  Each tree therefore owns one :class:`LRUBuffer`; a read
+that finds its page in the buffer is free, anything else counts as one
+disk access.  Capacity 0 disables caching entirely (the paper's "zero
+buffer" configuration).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.storage.stats import IOStats
+
+
+class LRUBuffer:
+    """Fixed-capacity page cache with least-recently-used eviction."""
+
+    def __init__(self, capacity: int, stats: Optional[IOStats] = None):
+        if capacity < 0:
+            raise ValueError("buffer capacity must be >= 0")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IOStats()
+        self._pages: "OrderedDict[int, bytes]" = OrderedDict()
+
+    def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
+        """Return the page, loading it via ``loader`` on a miss."""
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.stats.buffer_hits += 1
+            return self._pages[page_id]
+        data = loader(page_id)
+        self.stats.disk_reads += 1
+        self._admit(page_id, data)
+        return data
+
+    def put(self, page_id: int, data: bytes) -> None:
+        """Install a freshly written page image (write-through cache)."""
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self._pages[page_id] = data
+        else:
+            self._admit(page_id, data)
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page (called when its page is freed)."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the buffer (used between experiment runs)."""
+        self._pages.clear()
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity, evicting LRU pages if shrinking."""
+        if capacity < 0:
+            raise ValueError("buffer capacity must be >= 0")
+        self.capacity = capacity
+        while len(self._pages) > capacity:
+            # invalidate() so policy subclasses drop their bookkeeping
+            self.invalidate(next(iter(self._pages)))
+
+    def _admit(self, page_id: int, data: bytes) -> None:
+        if self.capacity == 0:
+            return
+        while len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+        self._pages[page_id] = data
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages

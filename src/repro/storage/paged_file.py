@@ -1,0 +1,71 @@
+"""A paged file: store + buffer + statistics, as one object.
+
+Each R-tree owns one :class:`PagedFile`.  Query algorithms fetch node
+pages through :meth:`read_page`, which routes through the LRU buffer
+and updates :class:`~repro.storage.stats.IOStats`; construction writes
+through :meth:`write_page`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.stats import IOStats
+from repro.storage.store import MemoryPageStore, PageStore
+
+
+class PagedFile:
+    """Buffered, instrumented access to a :class:`PageStore`."""
+
+    def __init__(
+        self,
+        store: Optional[PageStore] = None,
+        buffer_capacity: int = 0,
+        page_size: int = 1024,
+        buffer_policy: str = "lru",
+    ):
+        self.store: PageStore = (
+            store if store is not None else MemoryPageStore(page_size)
+        )
+        self.stats = IOStats()
+        if buffer_policy == "lru":
+            self.buffer = LRUBuffer(buffer_capacity, self.stats)
+        else:
+            # Imported lazily: policies.py subclasses LRUBuffer.
+            from repro.storage.policies import make_buffer
+
+            self.buffer = make_buffer(
+                buffer_policy, buffer_capacity, self.stats
+            )
+
+    @property
+    def page_size(self) -> int:
+        return self.store.page_size
+
+    def allocate(self) -> int:
+        return self.store.allocate()
+
+    def read_page(self, page_id: int) -> bytes:
+        """Fetch a page, counting a disk access on buffer miss."""
+        return self.buffer.read(page_id, self.store.read)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write a page through the buffer, counting one disk write."""
+        self.store.write(page_id, data)
+        self.buffer.put(page_id, data)
+        self.stats.disk_writes += 1
+
+    def free_page(self, page_id: int) -> None:
+        self.store.free(page_id)
+        self.buffer.invalidate(page_id)
+
+    def set_buffer_capacity(self, capacity: int) -> None:
+        """Reconfigure the LRU buffer (used by the buffer-size sweeps)."""
+        self.buffer.resize(capacity)
+
+    def reset_for_query(self, clear_buffer: bool = True) -> None:
+        """Zero the counters (and optionally cold-start the buffer)."""
+        self.stats.reset()
+        if clear_buffer:
+            self.buffer.clear()

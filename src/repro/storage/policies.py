@@ -1,0 +1,144 @@
+"""Alternative buffer replacement policies (ablation substrate).
+
+The paper (following Leutenegger & Lopez, ICDE'98) studies LRU
+buffering only.  These variants allow an ablation of the policy choice
+on CPQ cost: FIFO (no recency update on hit), LFU (evict the least
+frequently used) and CLOCK (the classic second-chance approximation of
+LRU).  All share :class:`~repro.storage.buffer.LRUBuffer`'s interface,
+so a :class:`~repro.storage.paged_file.PagedFile` can swap them in.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.stats import IOStats
+
+
+class FIFOBuffer(LRUBuffer):
+    """First-in-first-out: hits do not refresh a page's position."""
+
+    def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
+        if page_id in self._pages:
+            self.stats.buffer_hits += 1
+            return self._pages[page_id]
+        data = loader(page_id)
+        self.stats.disk_reads += 1
+        self._admit(page_id, data)
+        return data
+
+
+class LFUBuffer(LRUBuffer):
+    """Least-frequently-used eviction with LRU tie-breaking.
+
+    Frequencies persist while a page stays resident and reset on
+    eviction (plain LFU, not LFU-aging).
+    """
+
+    def __init__(self, capacity: int, stats: Optional[IOStats] = None):
+        super().__init__(capacity, stats)
+        self._frequency: Dict[int, int] = {}
+
+    def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self._frequency[page_id] += 1
+            self.stats.buffer_hits += 1
+            return self._pages[page_id]
+        data = loader(page_id)
+        self.stats.disk_reads += 1
+        self._admit(page_id, data)
+        return data
+
+    def _admit(self, page_id: int, data: bytes) -> None:
+        if self.capacity == 0:
+            return
+        while len(self._pages) >= self.capacity:
+            victim = min(
+                self._pages,
+                key=lambda pid: (self._frequency[pid],
+                                 list(self._pages).index(pid)),
+            )
+            del self._pages[victim]
+            del self._frequency[victim]
+        self._pages[page_id] = data
+        self._frequency[page_id] = 1
+
+    def invalidate(self, page_id: int) -> None:
+        super().invalidate(page_id)
+        self._frequency.pop(page_id, None)
+
+    def clear(self) -> None:
+        super().clear()
+        self._frequency.clear()
+
+
+class ClockBuffer(LRUBuffer):
+    """Second-chance (CLOCK) replacement.
+
+    Resident pages carry a reference bit; the clock hand sweeps,
+    clearing bits until it finds an unreferenced victim.
+    """
+
+    def __init__(self, capacity: int, stats: Optional[IOStats] = None):
+        super().__init__(capacity, stats)
+        self._referenced: "OrderedDict[int, bool]" = OrderedDict()
+
+    def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
+        if page_id in self._pages:
+            self._referenced[page_id] = True
+            self.stats.buffer_hits += 1
+            return self._pages[page_id]
+        data = loader(page_id)
+        self.stats.disk_reads += 1
+        self._admit(page_id, data)
+        return data
+
+    def _admit(self, page_id: int, data: bytes) -> None:
+        if self.capacity == 0:
+            return
+        while len(self._pages) >= self.capacity:
+            victim, referenced = next(iter(self._referenced.items()))
+            if referenced:
+                # second chance: clear the bit, move to the back
+                self._referenced[victim] = False
+                self._referenced.move_to_end(victim)
+                self._pages.move_to_end(victim)
+            else:
+                del self._pages[victim]
+                del self._referenced[victim]
+        self._pages[page_id] = data
+        self._referenced[page_id] = False
+
+    def invalidate(self, page_id: int) -> None:
+        super().invalidate(page_id)
+        self._referenced.pop(page_id, None)
+
+    def clear(self) -> None:
+        super().clear()
+        self._referenced.clear()
+
+
+#: Registry used by the ablation benchmark and the paged-file factory.
+BUFFER_POLICIES = {
+    "lru": LRUBuffer,
+    "fifo": FIFOBuffer,
+    "lfu": LFUBuffer,
+    "clock": ClockBuffer,
+}
+
+
+def make_buffer(
+    policy: str, capacity: int, stats: Optional[IOStats] = None
+) -> LRUBuffer:
+    """Instantiate a buffer by policy name."""
+    try:
+        cls = BUFFER_POLICIES[policy.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown buffer policy {policy!r}; expected one of "
+            f"{sorted(BUFFER_POLICIES)}"
+        ) from None
+    return cls(capacity, stats)

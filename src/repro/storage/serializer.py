@@ -1,0 +1,125 @@
+"""Byte-level node (de)serialisation.
+
+Pages hold a small header followed by fixed-size entry slots:
+
+* header: ``level`` (int32; 0 for leaves) and ``count`` (int32),
+  padded to 16 bytes.
+* leaf entry: ``dimension`` float64 coordinates + int64 object id.
+* internal entry: ``2 * dimension`` float64 MBR bounds (lows then
+  highs) + int64 child page id.
+
+Entries are padded to the layout's fixed slot size so capacity
+arithmetic (and the paper's M = 21 for 1 KiB pages) is exact.  The
+serializer is deliberately independent of the R-tree classes: it deals
+in plain tuples, and :mod:`repro.rtree.node` adapts them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.storage.page import HEADER_SIZE, PageLayout
+
+#: (coords, object_id)
+LeafEntryTuple = Tuple[Tuple[float, ...], int]
+#: (lo, hi, child_page_id)
+InternalEntryTuple = Tuple[Tuple[float, ...], Tuple[float, ...], int]
+
+_HEADER = struct.Struct("<ii8x")  # level, count, pad to 16 bytes
+assert _HEADER.size == HEADER_SIZE
+
+
+class PageOverflowError(ValueError):
+    """Raised when more entries are serialised than the page can hold."""
+
+
+class NodeSerializer:
+    """Serialises nodes of a fixed dimension into fixed-size pages."""
+
+    def __init__(self, layout: PageLayout):
+        self.layout = layout
+        k = layout.dimension
+        self._leaf_entry = struct.Struct(f"<{k}dq")
+        self._internal_entry = struct.Struct(f"<{2 * k}dq")
+        for fmt in (self._leaf_entry, self._internal_entry):
+            if fmt.size > layout.entry_size:
+                raise ValueError(
+                    f"entry struct of {fmt.size} bytes exceeds the "
+                    f"{layout.entry_size}-byte slot"
+                )
+
+    # -- serialisation -----------------------------------------------------
+
+    def serialize_leaf(self, entries: Sequence[LeafEntryTuple]) -> bytes:
+        """Pack a leaf node (level 0) into one page."""
+        return self._serialize(0, entries, self._pack_leaf_entry)
+
+    def serialize_internal(
+        self, level: int, entries: Sequence[InternalEntryTuple]
+    ) -> bytes:
+        """Pack an internal node (level >= 1) into one page."""
+        if level < 1:
+            raise ValueError("internal nodes have level >= 1")
+        return self._serialize(level, entries, self._pack_internal_entry)
+
+    def _pack_leaf_entry(self, entry: LeafEntryTuple) -> bytes:
+        coords, oid = entry
+        return self._leaf_entry.pack(*coords, oid)
+
+    def _pack_internal_entry(self, entry: InternalEntryTuple) -> bytes:
+        lo, hi, child = entry
+        return self._internal_entry.pack(*lo, *hi, child)
+
+    def _serialize(self, level, entries, pack) -> bytes:
+        if len(entries) > self.layout.max_entries:
+            raise PageOverflowError(
+                f"{len(entries)} entries exceed capacity "
+                f"{self.layout.max_entries}"
+            )
+        slot = self.layout.entry_size
+        parts = [_HEADER.pack(level, len(entries))]
+        for entry in entries:
+            raw = pack(entry)
+            parts.append(raw)
+            parts.append(b"\x00" * (slot - len(raw)))
+        payload = b"".join(parts)
+        return payload + b"\x00" * (self.layout.page_size - len(payload))
+
+    # -- deserialisation -----------------------------------------------------
+
+    def deserialize(self, page: bytes):
+        """Unpack one page.
+
+        Returns ``(level, entries)`` where entries are leaf tuples when
+        ``level == 0`` and internal tuples otherwise.
+        """
+        if len(page) != self.layout.page_size:
+            raise ValueError(
+                f"page of {len(page)} bytes; expected {self.layout.page_size}"
+            )
+        level, count = _HEADER.unpack_from(page, 0)
+        if level < 0:
+            raise ValueError(f"corrupt page: negative level {level}")
+        if not 0 <= count <= self.layout.max_entries:
+            raise ValueError(
+                f"corrupt page: entry count {count} outside "
+                f"[0, {self.layout.max_entries}]"
+            )
+        slot = self.layout.entry_size
+        k = self.layout.dimension
+        entries: List = []
+        offset = HEADER_SIZE
+        if level == 0:
+            for _ in range(count):
+                values = self._leaf_entry.unpack_from(page, offset)
+                entries.append((tuple(values[:k]), values[k]))
+                offset += slot
+        else:
+            for _ in range(count):
+                values = self._internal_entry.unpack_from(page, offset)
+                entries.append(
+                    (tuple(values[:k]), tuple(values[k:2 * k]), values[2 * k])
+                )
+                offset += slot
+        return level, entries

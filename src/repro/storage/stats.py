@@ -1,0 +1,78 @@
+"""I/O accounting.
+
+Every experiment in the paper reports *disk accesses*: node reads that
+miss the LRU buffer.  :class:`IOStats` is the single mutable counter
+object threaded through a tree's storage stack; experiments snapshot
+and reset it between queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters for one paged file / R-tree."""
+
+    #: Node reads served from the buffer.
+    buffer_hits: int = 0
+    #: Node reads that went to disk (the paper's "disk accesses").
+    disk_reads: int = 0
+    #: Page writes (tree construction only; queries never write).
+    disk_writes: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Total logical node reads (hits + misses)."""
+        return self.buffer_hits + self.disk_reads
+
+    @property
+    def disk_accesses(self) -> int:
+        """The paper's cost metric: reads not absorbed by the buffer."""
+        return self.disk_reads
+
+    def reset(self) -> None:
+        """Zero all counters (typically done right before a query)."""
+        self.buffer_hits = 0
+        self.disk_reads = 0
+        self.disk_writes = 0
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counter values."""
+        return IOStats(self.buffer_hits, self.disk_reads, self.disk_writes)
+
+    def add(self, other: "IOStats") -> None:
+        """Accumulate another counter set into this one."""
+        self.buffer_hits += other.buffer_hits
+        self.disk_reads += other.disk_reads
+        self.disk_writes += other.disk_writes
+
+
+@dataclass
+class QueryStats:
+    """Aggregate statistics for one CPQ execution across both trees.
+
+    ``disk_accesses`` is the headline number plotted by every figure in
+    the paper; the remaining fields support the algorithmic analyses
+    (Section 3.9 discusses priority-queue sizes, for instance).
+    """
+
+    disk_accesses: int = 0
+    buffer_hits: int = 0
+    #: Point-to-point distance computations performed.
+    distance_computations: int = 0
+    #: Node pairs processed by the algorithm.
+    node_pairs_visited: int = 0
+    #: Largest size reached by the algorithm's main-memory structure
+    #: (recursion-ordering heap, or the incremental priority queue).
+    max_queue_size: int = 0
+    #: Candidate pairs inserted into the algorithm's queue/heap.
+    queue_inserts: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge_io(self, *stats: IOStats) -> None:
+        """Add per-tree I/O counters into the aggregate."""
+        for s in stats:
+            self.disk_accesses += s.disk_reads
+            self.buffer_hits += s.buffer_hits

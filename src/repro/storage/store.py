@@ -1,0 +1,159 @@
+"""Page stores: where serialised pages live.
+
+Two implementations share one protocol:
+
+* :class:`MemoryPageStore` -- a dict of page images; the default for
+  experiments (the paper's cost metric is simulated disk accesses, not
+  real ones, so experiments do not need a real file).
+* :class:`FilePageStore` -- a real page-aligned file on disk, proving
+  the byte layout round-trips and enabling persistent trees.
+
+Both keep a free list so deleted pages are reused.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Protocol
+
+
+class PageStore(Protocol):
+    """Minimal page-granular storage interface."""
+
+    page_size: int
+
+    def allocate(self) -> int:
+        """Reserve a new page id."""
+        ...
+
+    def read(self, page_id: int) -> bytes:
+        """Return the page image (exactly ``page_size`` bytes)."""
+        ...
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace the page image."""
+        ...
+
+    def free(self, page_id: int) -> None:
+        """Release a page for reuse."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of live (allocated, not freed) pages."""
+        ...
+
+
+class MemoryPageStore:
+    """In-memory page store used by the experiment harness."""
+
+    def __init__(self, page_size: int = 1024):
+        self.page_size = page_size
+        self._pages: Dict[int, Optional[bytes]] = {}
+        self._free: List[int] = []
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        if self._free:
+            page_id = self._free.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._pages[page_id] = None
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        data = self._pages.get(page_id)
+        if data is None:
+            raise KeyError(f"page {page_id} not written or not allocated")
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} not allocated")
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page image of {len(data)} bytes; expected {self.page_size}"
+            )
+        self._pages[page_id] = data
+
+    def free(self, page_id: int) -> None:
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} not allocated")
+        del self._pages[page_id]
+        self._free.append(page_id)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class FilePageStore:
+    """Page store backed by a real file.
+
+    The file grows in page-size units; a free list is kept in memory
+    (it could be persisted in page 0, but persistence of the free list
+    is not needed by any experiment).
+    """
+
+    def __init__(self, path: str, page_size: int = 1024):
+        self.page_size = page_size
+        self.path = path
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size:
+            raise ValueError(
+                f"{path} is {size} bytes, not a multiple of {page_size}"
+            )
+        self._next_id = size // page_size
+        self._allocated = set(range(self._next_id))
+        self._free: List[int] = []
+
+    def allocate(self) -> int:
+        if self._free:
+            page_id = self._free.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+            self._file.seek(page_id * self.page_size)
+            self._file.write(b"\x00" * self.page_size)
+        self._allocated.add(page_id)
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        self._check(page_id)
+        self._file.seek(page_id * self.page_size)
+        return self._file.read(self.page_size)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check(page_id)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page image of {len(data)} bytes; expected {self.page_size}"
+            )
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+
+    def free(self, page_id: int) -> None:
+        self._check(page_id)
+        self._allocated.remove(page_id)
+        self._free.append(page_id)
+
+    def _check(self, page_id: int) -> None:
+        if page_id not in self._allocated:
+            raise KeyError(f"page {page_id} not allocated")
+
+    def __len__(self) -> int:
+        return len(self._allocated)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

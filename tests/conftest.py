@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.storage.page import PageLayout
+
+# A small profile keeps hypothesis fast enough for the full suite
+# while still exercising hundreds of generated cases overall.
+settings.register_profile(
+    "suite",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("suite")
+
+
+def brute_force_pairs(points_p, points_q, k):
+    """Ground truth: the k smallest distances between two point lists."""
+    distances = sorted(
+        math.dist(p, q) for p in points_p for q in points_q
+    )
+    return distances[:k]
+
+
+def random_points(n, rng, xspan=(0.0, 1.0), yspan=(0.0, 1.0)):
+    return [
+        (rng.uniform(*xspan), rng.uniform(*yspan)) for __ in range(n)
+    ]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_layout():
+    """A tiny page layout (M = 4) that forces deep trees quickly."""
+    # 16-byte header + 4 x 48-byte entries
+    return PageLayout(page_size=16 + 4 * 48)
+
+
+@pytest.fixture
+def small_tree(small_layout):
+    return RTree(RTreeConfig(layout=small_layout))
+
+
+@pytest.fixture(scope="module")
+def medium_trees():
+    """A pair of moderately sized bulk-loaded trees (module-scoped)."""
+    rng_local = random.Random(42)
+    points_p = [
+        (rng_local.random(), rng_local.random()) for __ in range(800)
+    ]
+    points_q = [
+        (rng_local.uniform(0.4, 1.4), rng_local.random())
+        for __ in range(700)
+    ]
+    return (
+        points_p,
+        points_q,
+        bulk_load(points_p),
+        bulk_load(points_q),
+    )

@@ -1,0 +1,116 @@
+"""k-dimensional support (the paper: "the extension to k-dimensional
+space is straightforward" -- here verified in 3-d end to end)."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core import k_closest_pairs
+from repro.core.api import ALGORITHMS
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import maxmaxdist, minmaxdist, minmindist
+from repro.query import nearest_neighbors, range_query
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.rtree.validate import validate
+from repro.storage.page import PageLayout
+
+LAYOUT_3D = PageLayout(page_size=1024, dimension=3)
+
+
+def random_points_3d(n, seed, shift=0.0):
+    rng = random.Random(seed)
+    return [
+        (rng.random() + shift, rng.random(), rng.random())
+        for __ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def trees_3d():
+    pts_p = random_points_3d(400, seed=1)
+    pts_q = random_points_3d(350, seed=2, shift=0.5)
+    config = RTreeConfig(layout=LAYOUT_3D)
+    return pts_p, pts_q, bulk_load(pts_p, config=config), bulk_load(
+        pts_q, config=config
+    )
+
+
+class TestGeometry3D:
+    def test_metric_sandwich(self):
+        a = MBR((0, 0, 0), (1, 1, 1))
+        b = MBR((2, 2, 2), (3, 3, 3))
+        lo = minmindist(a, b)
+        mid = minmaxdist(a, b)
+        hi = maxmaxdist(a, b)
+        assert lo == pytest.approx(math.sqrt(3))
+        assert lo <= mid <= hi
+        assert hi == pytest.approx(math.sqrt(27))
+
+    def test_inequality_two_with_point_sets(self):
+        rng = random.Random(7)
+        pts_a = random_points_3d(10, seed=3)
+        pts_b = random_points_3d(10, seed=4, shift=1.5)
+        box_a = MBR.from_points(pts_a)
+        box_b = MBR.from_points(pts_b)
+        closest = min(
+            math.dist(p, q)
+            for p, q in itertools.product(pts_a, pts_b)
+        )
+        assert closest <= minmaxdist(box_a, box_b) * (1 + 1e-9)
+
+
+class TestTree3D:
+    def test_capacity_shrinks_with_dimension(self):
+        # 3-d entries need 56-byte slots -> 18 per 1 KiB page.
+        assert LAYOUT_3D.max_entries == 18
+
+    def test_dynamic_build_and_validate(self):
+        tree = RTree(RTreeConfig(layout=LAYOUT_3D))
+        points = random_points_3d(300, seed=5)
+        for oid, point in enumerate(points):
+            tree.insert(point, oid)
+        summary = validate(tree)
+        assert summary.entries == 300
+        for oid in range(0, 300, 4):
+            assert tree.delete(points[oid], oid)
+        validate(tree)
+
+    def test_bulk_and_substrate_queries(self, trees_3d):
+        pts_p, __, tree_p, __ = trees_3d
+        validate(tree_p)
+        window = MBR((0.2, 0.2, 0.2), (0.7, 0.7, 0.7))
+        got = sorted(e.oid for e in range_query(tree_p, window))
+        want = sorted(
+            i for i, p in enumerate(pts_p) if window.contains_point(p)
+        )
+        assert got == want
+        query = (0.5, 0.5, 0.5)
+        found = nearest_neighbors(tree_p, query, k=5)
+        brute = sorted(math.dist(query, p) for p in pts_p)[:5]
+        assert [d for d, __ in found] == pytest.approx(brute, abs=1e-9)
+
+
+class TestCPQ3D:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms_match_brute_force(self, algorithm, trees_3d):
+        pts_p, pts_q, tree_p, tree_q = trees_3d
+        result = k_closest_pairs(tree_p, tree_q, k=7, algorithm=algorithm)
+        brute = sorted(
+            math.dist(p, q)
+            for p, q in itertools.product(pts_p, pts_q)
+        )[:7]
+        assert result.distances() == pytest.approx(brute, abs=1e-9)
+
+    def test_incremental_3d(self, trees_3d):
+        from repro.incremental import k_distance_join
+
+        pts_p, pts_q, tree_p, tree_q = trees_3d
+        result = k_distance_join(tree_p, tree_q, k=5)
+        brute = sorted(
+            math.dist(p, q)
+            for p, q in itertools.product(pts_p, pts_q)
+        )[:5]
+        assert result.distances() == pytest.approx(brute, abs=1e-9)

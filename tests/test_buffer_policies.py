@@ -1,0 +1,179 @@
+"""Tests for the FIFO / LFU / CLOCK buffer policies."""
+
+import pytest
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.paged_file import PagedFile
+from repro.storage.policies import (
+    BUFFER_POLICIES,
+    ClockBuffer,
+    FIFOBuffer,
+    LFUBuffer,
+    make_buffer,
+)
+
+
+def loader_factory(log):
+    def loader(page_id):
+        log.append(page_id)
+        return bytes([page_id % 256]) * 4
+
+    return loader
+
+
+class PolicyContract:
+    """Behaviour every replacement policy must share."""
+
+    policy = ""
+
+    def make(self, capacity):
+        return make_buffer(self.policy, capacity)
+
+    def test_miss_then_hit(self):
+        log = []
+        buffer = self.make(2)
+        loader = loader_factory(log)
+        buffer.read(1, loader)
+        buffer.read(1, loader)
+        assert log == [1]
+        assert buffer.stats.buffer_hits == 1
+
+    def test_zero_capacity(self):
+        log = []
+        buffer = self.make(0)
+        loader = loader_factory(log)
+        buffer.read(1, loader)
+        buffer.read(1, loader)
+        assert log == [1, 1]
+        assert len(buffer) == 0
+
+    def test_capacity_respected(self):
+        buffer = self.make(3)
+        loader = loader_factory([])
+        for pid in range(10):
+            buffer.read(pid, loader)
+        assert len(buffer) == 3
+
+    def test_invalidate(self):
+        log = []
+        buffer = self.make(2)
+        loader = loader_factory(log)
+        buffer.read(1, loader)
+        buffer.invalidate(1)
+        buffer.read(1, loader)
+        assert log == [1, 1]
+
+    def test_clear_and_reuse(self):
+        buffer = self.make(2)
+        loader = loader_factory([])
+        for pid in range(5):
+            buffer.read(pid, loader)
+        buffer.clear()
+        assert len(buffer) == 0
+        buffer.read(1, loader)
+        assert 1 in buffer
+
+    def test_resize_shrinks(self):
+        buffer = self.make(4)
+        loader = loader_factory([])
+        for pid in range(4):
+            buffer.read(pid, loader)
+        buffer.resize(1)
+        assert len(buffer) == 1
+        # buffer still consistent after shrink
+        for pid in range(6):
+            buffer.read(pid, loader)
+        assert len(buffer) == 1
+
+
+class TestFIFO(PolicyContract):
+    policy = "fifo"
+
+    def test_hit_does_not_refresh(self):
+        log = []
+        buffer = FIFOBuffer(2)
+        loader = loader_factory(log)
+        buffer.read(1, loader)
+        buffer.read(2, loader)
+        buffer.read(1, loader)  # hit; FIFO order unchanged
+        buffer.read(3, loader)  # evicts 1 (oldest arrival)
+        assert 1 not in buffer
+        assert 2 in buffer
+
+
+class TestLFU(PolicyContract):
+    policy = "lfu"
+
+    def test_evicts_least_frequent(self):
+        log = []
+        buffer = LFUBuffer(2)
+        loader = loader_factory(log)
+        buffer.read(1, loader)
+        buffer.read(1, loader)
+        buffer.read(1, loader)  # page 1: frequency 3
+        buffer.read(2, loader)  # page 2: frequency 1
+        buffer.read(3, loader)  # evicts 2
+        assert 1 in buffer
+        assert 2 not in buffer
+
+
+class TestClock(PolicyContract):
+    policy = "clock"
+
+    def test_second_chance(self):
+        log = []
+        buffer = ClockBuffer(2)
+        loader = loader_factory(log)
+        buffer.read(1, loader)
+        buffer.read(2, loader)
+        buffer.read(1, loader)  # sets 1's reference bit
+        buffer.read(3, loader)  # hand skips 1 (second chance), evicts 2
+        assert 1 in buffer
+        assert 2 not in buffer
+
+
+class TestFactory:
+    def test_registry(self):
+        assert sorted(BUFFER_POLICIES) == ["clock", "fifo", "lfu", "lru"]
+        assert isinstance(make_buffer("lru", 2), LRUBuffer)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="buffer policy"):
+            make_buffer("arc", 2)
+
+    def test_paged_file_accepts_policy(self):
+        file = PagedFile(buffer_capacity=2, page_size=64,
+                         buffer_policy="clock")
+        assert isinstance(file.buffer, ClockBuffer)
+        with pytest.raises(ValueError):
+            PagedFile(buffer_policy="arc")
+
+
+class TestPoliciesOnQueries:
+    def test_all_policies_give_identical_results(self):
+        """Replacement policy affects cost, never correctness."""
+        import random
+
+        from repro.core import k_closest_pairs
+        from repro.rtree.bulk import bulk_load
+        from repro.rtree.tree import RTreeConfig
+
+        rng = random.Random(77)
+        pts_p = [(rng.random(), rng.random()) for __ in range(400)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(400)]
+        reference = None
+        costs = {}
+        for policy in BUFFER_POLICIES:
+            tree_p = bulk_load(pts_p, file=PagedFile(
+                buffer_capacity=8, buffer_policy=policy))
+            tree_q = bulk_load(pts_q, file=PagedFile(
+                buffer_capacity=8, buffer_policy=policy))
+            result = k_closest_pairs(
+                tree_p, tree_q, k=10, algorithm="std", reset_stats=True
+            )
+            costs[policy] = result.stats.disk_accesses
+            if reference is None:
+                reference = result.distances()
+            else:
+                assert result.distances() == pytest.approx(reference)
+        assert all(cost > 0 for cost in costs.values())

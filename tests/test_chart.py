@@ -1,0 +1,67 @@
+"""Tests for the text chart renderer."""
+
+import pytest
+
+from repro.experiments.chart import series_chart
+from repro.experiments.report import Table
+
+
+@pytest.fixture
+def table():
+    t = Table("Demo", columns=("overlap", "k", "alg", "cost"))
+    t.add(0, 1, "EXH", 200)
+    t.add(0, 1, "HEAP", 10)
+    t.add(0, 10, "EXH", 400)
+    t.add(0, 10, "HEAP", 20)
+    t.add(100, 1, "EXH", 5000)
+    t.add(100, 1, "HEAP", 4000)
+    return t
+
+
+class TestSeriesChart:
+    def test_contains_groups_series_and_values(self, table):
+        chart = series_chart(table, x="k", series="alg", value="cost",
+                             overlap=0)
+        assert "k = 1" in chart
+        assert "k = 10" in chart
+        assert "EXH" in chart and "HEAP" in chart
+        assert "200" in chart and "20" in chart
+        assert "5,000" not in chart  # filtered out
+
+    def test_bigger_value_longer_bar(self, table):
+        chart = series_chart(table, x="k", series="alg", value="cost",
+                             overlap=0, log=False)
+        lines = {line.split()[0]: line for line in chart.splitlines()
+                 if line.strip().startswith(("EXH", "HEAP"))}
+        assert lines["EXH"].count("#") > lines["HEAP"].count("#")
+
+    def test_log_scale_compresses(self, table):
+        linear = series_chart(table, x="k", series="alg", value="cost",
+                              log=False)
+        logarithmic = series_chart(table, x="k", series="alg",
+                                   value="cost", log=True)
+        def bars(chart, name):
+            return max(
+                line.count("#") for line in chart.splitlines()
+                if line.strip().startswith(name)
+            )
+        # HEAP's bar is relatively longer under log scaling
+        assert bars(logarithmic, "HEAP") >= bars(linear, "HEAP")
+
+    def test_no_matching_rows(self, table):
+        with pytest.raises(ValueError, match="no rows"):
+            series_chart(table, x="k", series="alg", value="cost",
+                         overlap=42)
+
+    def test_custom_title(self, table):
+        chart = series_chart(table, x="k", series="alg", value="cost",
+                             title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_zero_values_get_no_bar(self):
+        t = Table("Z", columns=("k", "alg", "cost"))
+        t.add(1, "A", 0)
+        t.add(1, "B", 10)
+        chart = series_chart(t, x="k", series="alg", value="cost")
+        a_line = [l for l in chart.splitlines() if l.strip().startswith("A")][0]
+        assert "#" not in a_line

@@ -1,0 +1,224 @@
+"""End-to-end correctness of every CPQ algorithm against brute force.
+
+The paper's result definition (Section 2.1) fixes the distance
+*multiset* of the K closest pairs; ties make the pair identities
+ambiguous, so the tests compare distances.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import k_closest_pairs
+from repro.core.api import ALGORITHMS, closest_pair
+from repro.core.height import FIX_AT_LEAVES, FIX_AT_ROOT
+from repro.geometry.minkowski import CHEBYSHEV, MANHATTAN
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.storage.page import PageLayout
+
+from tests.conftest import brute_force_pairs
+
+SMALL = PageLayout(page_size=16 + 4 * 48)  # M = 4: deep trees, tiny data
+
+coord = st.floats(min_value=0, max_value=100, allow_nan=False)
+point_lists = st.lists(st.tuples(coord, coord), min_size=1, max_size=40)
+
+
+def assert_distances(result, expected):
+    got = result.distances()
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        assert a == pytest.approx(b, abs=1e-9)
+    assert got == sorted(got)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @given(point_lists, point_lists, st.integers(1, 8))
+    @settings(max_examples=20)
+    def test_small_random_sets(self, algorithm, pts_p, pts_q, k):
+        k = min(k, len(pts_p) * len(pts_q))
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        result = k_closest_pairs(tree_p, tree_q, k=k, algorithm=algorithm)
+        assert_distances(
+            result, brute_force_pairs(pts_p, pts_q, k)
+        )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_deep_trees(self, algorithm):
+        rng = random.Random(31)
+        pts_p = [(rng.random(), rng.random()) for __ in range(250)]
+        pts_q = [(rng.uniform(0.5, 1.5), rng.random()) for __ in range(250)]
+        config = RTreeConfig(layout=SMALL)
+        tree_p = bulk_load(pts_p, config=config)
+        tree_q = bulk_load(pts_q, config=config)
+        for k in (1, 7, 40):
+            result = k_closest_pairs(
+                tree_p, tree_q, k=k, algorithm=algorithm
+            )
+            assert_distances(result, brute_force_pairs(pts_p, pts_q, k))
+
+    @pytest.mark.parametrize("algorithm", ["exh", "sim", "std", "heap"])
+    @pytest.mark.parametrize("strategy", [FIX_AT_ROOT, FIX_AT_LEAVES])
+    def test_different_heights(self, algorithm, strategy):
+        rng = random.Random(77)
+        pts_p = [(rng.random(), rng.random()) for __ in range(30)]
+        pts_q = [(rng.uniform(0.8, 1.8), rng.random()) for __ in range(900)]
+        config = RTreeConfig(layout=SMALL)
+        tree_p = bulk_load(pts_p, config=config)
+        tree_q = bulk_load(pts_q, config=config)
+        assert tree_p.height != tree_q.height
+        for k in (1, 12):
+            result = k_closest_pairs(
+                tree_p, tree_q, k=k, algorithm=algorithm,
+                height_strategy=strategy,
+            )
+            assert_distances(result, brute_force_pairs(pts_p, pts_q, k))
+
+    @pytest.mark.parametrize("algorithm", ["std", "heap"])
+    @pytest.mark.parametrize("criterion", ["T1", "T2", "T3", "T4", "T5"])
+    def test_every_tie_criterion_is_correct(self, algorithm, criterion):
+        rng = random.Random(5)
+        pts_p = [(rng.random(), rng.random()) for __ in range(300)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(300)]
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        result = k_closest_pairs(
+            tree_p, tree_q, k=10, algorithm=algorithm, tie_break=criterion
+        )
+        assert_distances(result, brute_force_pairs(pts_p, pts_q, 10))
+
+    @pytest.mark.parametrize("metric", [MANHATTAN, CHEBYSHEV])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_other_minkowski_metrics(self, metric, algorithm):
+        rng = random.Random(13)
+        pts_p = [(rng.random(), rng.random()) for __ in range(60)]
+        pts_q = [(rng.uniform(0.5, 1.5), rng.random()) for __ in range(60)]
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        result = k_closest_pairs(
+            tree_p, tree_q, k=5, algorithm=algorithm, metric=metric
+        )
+        brute = sorted(
+            metric.distance(p, q) for p in pts_p for q in pts_q
+        )[:5]
+        assert_distances(result, brute)
+
+
+class TestMaxMaxPruningModes:
+    @pytest.mark.parametrize("algorithm", ["sim", "std", "heap"])
+    @pytest.mark.parametrize("pruning", [True, False])
+    def test_both_modes_correct(self, algorithm, pruning):
+        rng = random.Random(55)
+        pts_p = [(rng.random(), rng.random()) for __ in range(300)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(300)]
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        result = k_closest_pairs(
+            tree_p, tree_q, k=25, algorithm=algorithm,
+            maxmax_pruning=pruning,
+        )
+        assert_distances(result, brute_force_pairs(pts_p, pts_q, 25))
+
+    def test_pruning_only_removes_work(self):
+        rng = random.Random(56)
+        pts_p = [(rng.random(), rng.random()) for __ in range(600)]
+        pts_q = [(rng.uniform(0.5, 1.5), rng.random()) for __ in range(600)]
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        with_bound = k_closest_pairs(
+            tree_p, tree_q, k=50, algorithm="heap", maxmax_pruning=True
+        )
+        without = k_closest_pairs(
+            tree_p, tree_q, k=50, algorithm="heap", maxmax_pruning=False
+        )
+        assert with_bound.distances() == pytest.approx(without.distances())
+        assert (
+            with_bound.stats.disk_accesses <= without.stats.disk_accesses
+        )
+
+
+class TestTiesAndDegeneracy:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_grid_with_massive_ties(self, algorithm):
+        # Identical grids: every point of P coincides with one of Q.
+        grid = [(float(i), float(j)) for i in range(6) for j in range(6)]
+        tree_p = bulk_load(grid)
+        tree_q = bulk_load(grid)
+        result = k_closest_pairs(tree_p, tree_q, k=36, algorithm=algorithm)
+        # The 36 closest are the zero-distance coincident pairs.
+        assert result.distances() == [0.0] * 36
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_duplicate_points(self, algorithm):
+        pts_p = [(0.0, 0.0)] * 5 + [(2.0, 0.0)]
+        pts_q = [(1.0, 0.0)] * 3
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        result = k_closest_pairs(tree_p, tree_q, k=4, algorithm=algorithm)
+        assert_distances(result, [1.0, 1.0, 1.0, 1.0])
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_singletons(self, algorithm):
+        tree_p = bulk_load([(0.0, 0.0)])
+        tree_q = bulk_load([(3.0, 4.0)])
+        result = k_closest_pairs(tree_p, tree_q, k=1, algorithm=algorithm)
+        assert result.pairs[0].distance == pytest.approx(5.0)
+        assert result.pairs[0].p == (0.0, 0.0)
+        assert result.pairs[0].q == (3.0, 4.0)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_k_exceeding_pair_count(self, algorithm):
+        tree_p = bulk_load([(0.0, 0.0), (1.0, 0.0)])
+        tree_q = bulk_load([(0.0, 1.0)])
+        result = k_closest_pairs(tree_p, tree_q, k=50, algorithm=algorithm)
+        assert len(result.pairs) == 2
+
+    def test_empty_tree(self):
+        empty = RTree()
+        other = bulk_load([(0.0, 0.0)])
+        for algorithm in ALGORITHMS:
+            result = k_closest_pairs(empty, other, k=1, algorithm=algorithm)
+            assert result.pairs == []
+        assert closest_pair(empty, other) is None
+
+    def test_result_pairs_are_real_points(self):
+        rng = random.Random(41)
+        pts_p = [(rng.random(), rng.random()) for __ in range(100)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(100)]
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        result = k_closest_pairs(tree_p, tree_q, k=5, algorithm="heap")
+        set_p = set(pts_p)
+        set_q = set(pts_q)
+        for pair in result.pairs:
+            assert pair.p in set_p
+            assert pair.q in set_q
+            assert pair.distance == pytest.approx(
+                math.dist(pair.p, pair.q)
+            )
+            assert pts_p[pair.p_oid] == pair.p
+            assert pts_q[pair.q_oid] == pair.q
+
+
+class TestAlgorithmsAgree:
+    @given(point_lists, point_lists, st.integers(1, 6))
+    @settings(max_examples=15)
+    def test_all_five_return_identical_distances(self, pts_p, pts_q, k):
+        k = min(k, len(pts_p) * len(pts_q))
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        reference = None
+        for algorithm in ALGORITHMS:
+            got = k_closest_pairs(
+                tree_p, tree_q, k=k, algorithm=algorithm
+            ).distances()
+            if reference is None:
+                reference = got
+            else:
+                assert got == pytest.approx(reference, abs=1e-9)

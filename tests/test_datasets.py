@@ -1,0 +1,153 @@
+"""Dataset generator tests: determinism, placement, clustering, I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SEQUOIA_CARDINALITY,
+    UNIT_WORKSPACE,
+    Workspace,
+    load_points,
+    overlapping_workspace,
+    save_points,
+    sequoia_like,
+    uniform_points,
+)
+from repro.datasets.workspace import (
+    points_overlap_portion,
+    workspace_pair,
+)
+
+
+class TestWorkspace:
+    def test_properties(self):
+        ws = Workspace(0, 0, 2, 4)
+        assert ws.width == 2
+        assert ws.height == 4
+        assert ws.area == 8
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Workspace(1, 0, 0, 1)
+
+    def test_place_maps_unit_square(self):
+        ws = Workspace(10, 20, 12, 24)
+        placed = ws.place(np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]]))
+        assert placed[0].tolist() == [10, 20]
+        assert placed[1].tolist() == [12, 24]
+        assert placed[2].tolist() == [11, 22]
+
+    def test_place_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            UNIT_WORKSPACE.place(np.zeros((3, 3)))
+
+    @pytest.mark.parametrize("portion", [0.0, 0.03, 0.25, 0.5, 1.0])
+    def test_overlapping_workspace_exact_portion(self, portion):
+        base, shifted = workspace_pair(portion)
+        assert base.overlap_portion(shifted) == pytest.approx(portion)
+        assert shifted.area == pytest.approx(base.area)
+
+    def test_zero_overlap_leaves_a_gap(self):
+        shifted = overlapping_workspace(UNIT_WORKSPACE, 0.0)
+        assert shifted.xmin > UNIT_WORKSPACE.xmax
+
+    def test_invalid_portion(self):
+        with pytest.raises(ValueError):
+            overlapping_workspace(UNIT_WORKSPACE, 1.5)
+
+    def test_points_overlap_portion(self):
+        pts = np.array([[0.5, 0.5], [5.0, 5.0]])
+        assert points_overlap_portion(pts, UNIT_WORKSPACE) == 0.5
+        assert points_overlap_portion(np.empty((0, 2)), UNIT_WORKSPACE) == 0.0
+
+
+class TestUniform:
+    def test_cardinality_and_bounds(self):
+        pts = uniform_points(1000, seed=1)
+        assert pts.shape == (1000, 2)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            uniform_points(100, seed=7), uniform_points(100, seed=7)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            uniform_points(100, seed=1), uniform_points(100, seed=2)
+        )
+
+    def test_workspace_placement(self):
+        ws = Workspace(5, 5, 6, 6)
+        pts = uniform_points(500, workspace=ws, seed=3)
+        assert pts[:, 0].min() >= 5.0
+        assert pts[:, 0].max() <= 6.0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1)
+
+
+class TestSequoiaLike:
+    def test_default_cardinality(self):
+        pts = sequoia_like()
+        assert pts.shape == (SEQUOIA_CARDINALITY, 2)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            sequoia_like(2000, seed=5), sequoia_like(2000, seed=5)
+        )
+
+    def test_stays_in_workspace(self):
+        pts = sequoia_like(5000)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 1.0
+
+    def test_clustered_compared_to_uniform(self):
+        # The variance of per-cell counts of a clustered set greatly
+        # exceeds a uniform set's (the property Section 4.3.2 relies
+        # on: clustered data gives mostly-disjoint node rectangles).
+        n = 20_000
+        clustered = sequoia_like(n)
+        uniform = uniform_points(n, seed=9)
+
+        def cell_count_variance(pts, grid=20):
+            cells = (
+                np.floor(pts[:, 0] * grid).clip(0, grid - 1) * grid
+                + np.floor(pts[:, 1] * grid).clip(0, grid - 1)
+            ).astype(int)
+            counts = np.bincount(cells, minlength=grid * grid)
+            return counts.var()
+
+        assert cell_count_variance(clustered) > (
+            10 * cell_count_variance(uniform)
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sequoia_like(0)
+        with pytest.raises(ValueError):
+            sequoia_like(10, clusters=0)
+        with pytest.raises(ValueError):
+            sequoia_like(10, background_fraction=1.0)
+
+
+class TestIO:
+    @pytest.mark.parametrize("ext", ["npy", "csv"])
+    def test_roundtrip(self, tmp_path, ext):
+        pts = uniform_points(50, seed=11)
+        path = str(tmp_path / f"points.{ext}")
+        save_points(path, pts)
+        loaded = load_points(path)
+        assert np.allclose(loaded, pts)
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_points(str(tmp_path / "points.xyz"), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            load_points(str(tmp_path / "points.xyz"))
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_points(str(tmp_path / "p.npy"), np.zeros(5))

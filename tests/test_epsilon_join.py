@@ -1,0 +1,107 @@
+"""Tests for the distance range join."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import distance_range_join
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.storage.page import PageLayout
+from repro.storage.stats import QueryStats
+
+coord = st.floats(min_value=0, max_value=10, allow_nan=False)
+point_lists = st.lists(st.tuples(coord, coord), min_size=0, max_size=40)
+
+
+def brute(pts_p, pts_q, epsilon):
+    return sorted(
+        math.dist(p, q)
+        for p in pts_p
+        for q in pts_q
+        if math.dist(p, q) <= epsilon
+    )
+
+
+class TestCorrectness:
+    @given(point_lists, point_lists, st.floats(0, 5))
+    @settings(max_examples=25)
+    def test_matches_brute_force(self, pts_p, pts_q, epsilon):
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        pairs = distance_range_join(tree_p, tree_q, epsilon)
+        got = [pair.distance for pair in pairs]
+        assert got == pytest.approx(brute(pts_p, pts_q, epsilon), abs=1e-9)
+        assert got == sorted(got)
+
+    def test_different_heights(self):
+        rng = random.Random(9)
+        config = RTreeConfig(layout=PageLayout(page_size=16 + 4 * 48))
+        pts_p = [(rng.random(), rng.random()) for __ in range(15)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(600)]
+        tree_p = bulk_load(pts_p, config=config)
+        tree_q = bulk_load(pts_q, config=config)
+        assert tree_p.height != tree_q.height
+        pairs = distance_range_join(tree_p, tree_q, 0.1)
+        assert [p.distance for p in pairs] == pytest.approx(
+            brute(pts_p, pts_q, 0.1), abs=1e-9
+        )
+
+    def test_epsilon_zero_finds_coincident_points(self):
+        tree_p = bulk_load([(1.0, 1.0), (2.0, 2.0)])
+        tree_q = bulk_load([(1.0, 1.0), (3.0, 3.0)])
+        pairs = distance_range_join(tree_p, tree_q, 0.0)
+        assert len(pairs) == 1
+        assert pairs[0].distance == 0.0
+
+    def test_result_pairs_carry_oids(self):
+        tree_p = bulk_load([(0.0, 0.0)], oids=[42])
+        tree_q = bulk_load([(0.5, 0.0)], oids=[7])
+        pairs = distance_range_join(tree_p, tree_q, 1.0)
+        assert pairs[0].p_oid == 42
+        assert pairs[0].q_oid == 7
+
+
+class TestBehaviour:
+    def test_negative_epsilon_rejected(self):
+        tree = bulk_load([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            distance_range_join(tree, tree, -0.1)
+
+    def test_empty_trees(self):
+        assert distance_range_join(RTree(), bulk_load([(0.0, 0.0)]), 1) == []
+
+    def test_dimension_mismatch(self):
+        t2 = bulk_load([(0.0, 0.0)])
+        t3 = RTree(RTreeConfig(layout=PageLayout(dimension=3)))
+        with pytest.raises(ValueError):
+            distance_range_join(t2, t3, 1.0)
+
+    def test_pruning_beats_full_scan(self):
+        rng = random.Random(10)
+        pts_p = [(rng.random(), rng.random()) for __ in range(3000)]
+        pts_q = [(rng.random() + 2.0, rng.random()) for __ in range(3000)]
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        tree_p.file.reset_for_query()
+        tree_q.file.reset_for_query()
+        stats = QueryStats()
+        pairs = distance_range_join(tree_p, tree_q, 0.05, stats=stats)
+        assert pairs == []  # workspaces are 1.0 apart
+        assert stats.disk_accesses < 10
+
+    def test_stats_collected(self):
+        rng = random.Random(11)
+        pts = [(rng.random(), rng.random()) for __ in range(500)]
+        tree_p = bulk_load(pts)
+        tree_q = bulk_load(pts)
+        tree_p.file.reset_for_query()
+        tree_q.file.reset_for_query()
+        stats = QueryStats()
+        pairs = distance_range_join(tree_p, tree_q, 0.01, stats=stats)
+        assert stats.disk_accesses > 0
+        assert stats.distance_computations > 0
+        assert len(pairs) >= 500  # at least the coincident pairs

@@ -1,0 +1,163 @@
+"""Integration tests: every figure runner executes end-to-end (quick
+mode) and reproduces the paper's robust qualitative shapes."""
+
+import pytest
+
+from repro.experiments import FIGURES, run_figure
+from repro.experiments import config
+from repro.experiments.trees import (
+    DatasetSpec,
+    get_tree,
+    make_points,
+    real_spec,
+    uniform_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    """Run all figures once (quick mode) and share the results."""
+    return {fid: run_figure(fid, quick=True) for fid in FIGURES}
+
+
+class TestHarnessBasics:
+    def test_registry_covers_all_evaluation_figures(self):
+        assert sorted(FIGURES) == [
+            f"fig{n:02d}" for n in range(2, 11)
+        ]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99")
+
+    def test_all_tables_have_rows(self, tables):
+        for fid, table in tables.items():
+            assert table.rows, f"{fid} produced no rows"
+            assert table.title
+            assert table.notes
+
+    def test_k_sweep_truncated_by_scale(self):
+        assert config.k_sweep(quick=True)[-1] <= 2000
+        assert config.k_sweep(quick=True)[0] == 1
+
+    def test_scaled_has_floor(self):
+        assert config.scaled(20_000, quick=True) >= 200
+
+
+class TestTreeCache:
+    def test_same_spec_is_cached(self):
+        spec = uniform_spec(300, 0.5, seed=1)
+        assert get_tree(spec) is get_tree(spec)
+
+    def test_make_points_deterministic(self):
+        spec = real_spec(500)
+        import numpy as np
+
+        assert np.array_equal(make_points(spec), make_points(spec))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("hexagonal", 10, 0)
+
+
+class TestPaperShapes:
+    """Robust qualitative claims that must survive quick-mode scale."""
+
+    def test_fig04_overlap_dominates_cost(self, tables):
+        # Full workspace overlap costs far more than disjoint (Sec 4.3.2).
+        table = tables["fig04"]
+        disjoint = sum(r[3] for r in table.select(overlap_pct=0))
+        overlapping = sum(r[3] for r in table.select(overlap_pct=100))
+        assert overlapping > 2 * disjoint
+
+    def test_fig04_std_heap_beat_exh_when_disjoint(self, tables):
+        table = tables["fig04"]
+        for combo in set(table.column("combo")):
+            exh = table.value(
+                "disk_accesses", combo=combo, overlap_pct=0, algorithm="EXH"
+            )
+            std = table.value(
+                "disk_accesses", combo=combo, overlap_pct=0, algorithm="STD"
+            )
+            heap = table.value(
+                "disk_accesses", combo=combo, overlap_pct=0,
+                algorithm="HEAP",
+            )
+            assert std <= exh
+            assert heap <= exh
+
+    def test_fig05_low_overlap_gives_big_relative_wins(self, tables):
+        table = tables["fig05"]
+        for combo in set(table.column("combo")):
+            rel = table.value(
+                "relative_to_exh_pct", combo=combo, overlap_pct=0,
+                algorithm="HEAP",
+            )
+            assert rel < 100.0
+
+    def test_fig06_buffer_helps_exh(self, tables):
+        table = tables["fig06"]
+        for combo in set(table.column("combo")):
+            cold = table.value(
+                "disk_accesses", combo=combo, overlap_pct=100,
+                buffer_pages=0, algorithm="EXH",
+            )
+            warm = table.value(
+                "disk_accesses", combo=combo, overlap_pct=100,
+                buffer_pages=256, algorithm="EXH",
+            )
+            assert warm < cold
+
+    def test_fig07_cost_grows_with_k(self, tables):
+        table = tables["fig07"]
+        ks = sorted(set(table.column("k")))
+        for overlap in (0, 100):
+            first = table.value(
+                "disk_accesses", overlap_pct=overlap, k=ks[0],
+                algorithm="EXH",
+            )
+            last = table.value(
+                "disk_accesses", overlap_pct=overlap, k=ks[-1],
+                algorithm="EXH",
+            )
+            assert last >= first
+
+    def test_fig09_buffer_reduces_std_cost(self, tables):
+        table = tables["fig09"]
+        ks = sorted(set(table.column("k")))
+        cold = table.value(
+            "disk_accesses", buffer_pages=0, k=ks[-1], algorithm="STD"
+        )
+        warm = table.value(
+            "disk_accesses", buffer_pages=256, k=ks[-1], algorithm="STD"
+        )
+        assert warm <= cold
+
+    def test_fig10_incremental_queue_dwarfs_heap(self, tables):
+        # Section 3.9's size argument: SML's priority queue is far
+        # larger than HEAP's node-pair heap.
+        table = tables["fig10"]
+        ks = sorted(set(table.column("k")))
+        heap_q = table.value(
+            "max_queue", buffer_pages=0, overlap_pct=100, k=ks[-1],
+            algorithm="HEAP",
+        )
+        sml_q = table.value(
+            "max_queue", buffer_pages=0, overlap_pct=100, k=ks[-1],
+            algorithm="SML",
+        )
+        assert sml_q > heap_q
+
+    def test_fig02_t1_is_reference(self, tables):
+        table = tables["fig02"]
+        for row in table.select(criterion="T1"):
+            assert row[4] == 100.0  # relative_pct column
+
+    def test_fig03_has_both_strategies(self, tables):
+        table = tables["fig03"]
+        strategies = set(table.column("strategy"))
+        assert strategies == {"fix-at-leaves", "fix-at-root"}
+
+    def test_fig08_relative_costs_positive(self, tables):
+        table = tables["fig08"]
+        assert all(v > 0 for v in table.column("relative_to_exh_pct"))

@@ -1,0 +1,119 @@
+"""Tests for the future-work extensions: Self-CPQ and Semi-CPQ."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import self_k_closest_pairs, semi_closest_pairs
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+
+coord = st.floats(min_value=0, max_value=20, allow_nan=False)
+point_lists = st.lists(st.tuples(coord, coord), min_size=2, max_size=30)
+
+
+def self_brute(points, k):
+    distances = sorted(
+        math.dist(points[i], points[j])
+        for i in range(len(points))
+        for j in range(i + 1, len(points))
+    )
+    return distances[:k]
+
+
+class TestSelfCPQ:
+    @given(point_lists, st.integers(1, 6))
+    @settings(max_examples=20)
+    def test_matches_brute_force(self, points, k):
+        n_pairs = len(points) * (len(points) - 1) // 2
+        k = min(k, n_pairs)
+        result = self_k_closest_pairs(bulk_load(points), k=k)
+        assert result.distances() == pytest.approx(
+            self_brute(points, k), abs=1e-9
+        )
+
+    def test_no_self_pairs_and_canonical_order(self):
+        rng = random.Random(3)
+        points = [(rng.random(), rng.random()) for __ in range(200)]
+        result = self_k_closest_pairs(bulk_load(points), k=20)
+        for pair in result.pairs:
+            assert pair.p_oid < pair.q_oid
+
+    def test_duplicate_points_pair_at_zero(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (5.0, 5.0)]
+        result = self_k_closest_pairs(bulk_load(points), k=1)
+        assert result.pairs[0].distance == 0.0
+        assert result.pairs[0].p_oid != result.pairs[0].q_oid
+
+    def test_larger_set(self):
+        rng = random.Random(9)
+        points = [(rng.random(), rng.random()) for __ in range(800)]
+        result = self_k_closest_pairs(bulk_load(points), k=15)
+        assert result.distances() == pytest.approx(
+            self_brute(points, 15), abs=1e-9
+        )
+        assert result.stats.disk_accesses > 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            self_k_closest_pairs(bulk_load([(0.0, 0.0)] * 3), k=0)
+
+    def test_tiny_trees(self):
+        assert self_k_closest_pairs(RTree(), k=1).pairs == []
+        assert self_k_closest_pairs(bulk_load([(0.0, 0.0)]), k=1).pairs == []
+        two = self_k_closest_pairs(
+            bulk_load([(0.0, 0.0), (3.0, 4.0)]), k=5
+        )
+        assert two.distances() == pytest.approx([5.0])
+
+
+class TestSemiCPQ:
+    @given(point_lists, point_lists)
+    @settings(max_examples=20)
+    def test_every_p_point_gets_its_nearest(self, pts_p, pts_q):
+        result = semi_closest_pairs(
+            bulk_load(pts_p), bulk_load(pts_q), sort_result=False
+        )
+        assert len(result.pairs) == len(pts_p)
+        nearest = {}
+        for pair in result.pairs:
+            nearest[pair.p_oid] = pair.distance
+        assert sorted(nearest) == list(range(len(pts_p)))
+        for oid, point in enumerate(pts_p):
+            expected = min(math.dist(point, q) for q in pts_q)
+            assert nearest[oid] == pytest.approx(expected, abs=1e-9)
+
+    def test_sorted_output(self):
+        rng = random.Random(2)
+        pts_p = [(rng.random(), rng.random()) for __ in range(150)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(150)]
+        result = semi_closest_pairs(bulk_load(pts_p), bulk_load(pts_q))
+        distances = result.distances()
+        assert distances == sorted(distances)
+
+    def test_semi_is_asymmetric(self):
+        pts_p = [(0.0, 0.0)]
+        pts_q = [(1.0, 0.0), (2.0, 0.0)]
+        forward = semi_closest_pairs(bulk_load(pts_p), bulk_load(pts_q))
+        backward = semi_closest_pairs(bulk_load(pts_q), bulk_load(pts_p))
+        assert len(forward.pairs) == 1
+        assert len(backward.pairs) == 2
+
+    def test_empty_sides(self):
+        empty = RTree()
+        tree = bulk_load([(0.0, 0.0)])
+        assert semi_closest_pairs(empty, tree).pairs == []
+        assert semi_closest_pairs(tree, empty).pairs == []
+
+    def test_prunes_io_against_scan(self):
+        rng = random.Random(14)
+        pts_p = [(rng.random(), rng.random()) for __ in range(400)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(2000)]
+        tree_p = bulk_load(pts_p)
+        tree_q = bulk_load(pts_q)
+        result = semi_closest_pairs(tree_p, tree_q)
+        full_scan = len(pts_p) * tree_q.node_count()
+        assert result.stats.disk_accesses < full_scan / 10

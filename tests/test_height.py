@@ -1,0 +1,52 @@
+"""Height-strategy (fix-at-root / fix-at-leaves) decision tests."""
+
+import pytest
+
+from repro.core.height import (
+    EXPAND_BOTH,
+    EXPAND_P,
+    EXPAND_Q,
+    FIX_AT_LEAVES,
+    FIX_AT_ROOT,
+    expansion,
+    validate_strategy,
+)
+from repro.rtree.node import Node
+
+
+def node(level):
+    return Node(page_id=level * 10, level=level)
+
+
+class TestValidate:
+    def test_known_strategies(self):
+        assert validate_strategy(FIX_AT_ROOT) == FIX_AT_ROOT
+        assert validate_strategy(FIX_AT_LEAVES) == FIX_AT_LEAVES
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            validate_strategy("fix-somewhere")
+
+
+class TestExpansion:
+    def test_leaf_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            expansion(node(0), node(0), FIX_AT_ROOT)
+
+    @pytest.mark.parametrize("strategy", [FIX_AT_ROOT, FIX_AT_LEAVES])
+    def test_leaf_vs_internal_expands_internal(self, strategy):
+        assert expansion(node(0), node(2), strategy) == EXPAND_Q
+        assert expansion(node(2), node(0), strategy) == EXPAND_P
+
+    def test_equal_internal_levels_expand_both(self):
+        for strategy in (FIX_AT_ROOT, FIX_AT_LEAVES):
+            assert expansion(node(2), node(2), strategy) == EXPAND_BOTH
+
+    def test_fix_at_root_descends_taller_side_only(self):
+        # Unequal internal levels: only the higher-level node expands.
+        assert expansion(node(3), node(1), FIX_AT_ROOT) == EXPAND_P
+        assert expansion(node(1), node(3), FIX_AT_ROOT) == EXPAND_Q
+
+    def test_fix_at_leaves_descends_both_while_internal(self):
+        assert expansion(node(3), node(1), FIX_AT_LEAVES) == EXPAND_BOTH
+        assert expansion(node(1), node(3), FIX_AT_LEAVES) == EXPAND_BOTH

@@ -1,0 +1,155 @@
+"""Tests for the Hilbert curve and Hilbert-packed bulk loading."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.hilbert import (
+    hilbert_bulk_load,
+    hilbert_index,
+    hilbert_point,
+    hilbert_sort_key,
+)
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.rtree.validate import validate
+from repro.storage.page import PageLayout
+
+
+class TestHilbertCurve:
+    def test_order_one_square(self):
+        # The canonical 2x2 curve: (0,0) -> (0,1) -> (1,1) -> (1,0).
+        visits = [hilbert_point(d, order=1) for d in range(4)]
+        assert visits == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    @given(st.integers(0, 2 ** 12 - 1))
+    def test_roundtrip(self, d):
+        x, y = hilbert_point(d, order=6)
+        assert hilbert_index(x, y, order=6) == d
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_inverse_roundtrip(self, x, y):
+        d = hilbert_index(x, y, order=6)
+        assert hilbert_point(d, order=6) == (x, y)
+
+    @given(st.integers(0, 2 ** 10 - 2))
+    def test_consecutive_cells_are_adjacent(self, d):
+        # The defining property of the curve: unit steps in the index
+        # move exactly one cell in the grid.
+        x1, y1 = hilbert_point(d, order=5)
+        x2, y2 = hilbert_point(d + 1, order=5)
+        assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_bijective_small_grid(self):
+        order = 3
+        seen = {
+            hilbert_point(d, order) for d in range(4 ** order)
+        }
+        assert len(seen) == 4 ** order
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index(-1, 0, order=4)
+        with pytest.raises(ValueError):
+            hilbert_index(16, 0, order=4)
+        with pytest.raises(ValueError):
+            hilbert_point(4 ** 4, order=4)
+
+    def test_sort_key_handles_degenerate_extent(self):
+        import numpy as np
+
+        keys = hilbert_sort_key(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        assert keys[0] == keys[1]
+
+
+class TestHilbertBulkLoad:
+    @pytest.mark.parametrize("n", [1, 14, 15, 100, 3000])
+    def test_invariants_across_sizes(self, n):
+        rng = random.Random(n)
+        points = [(rng.random(), rng.random()) for __ in range(n)]
+        tree = hilbert_bulk_load(points)
+        summary = validate(tree)
+        assert summary.entries == n
+
+    def test_contents_preserved(self):
+        rng = random.Random(2)
+        points = [(rng.random(), rng.random()) for __ in range(500)]
+        tree = hilbert_bulk_load(points)
+        stored = sorted((e.point, e.oid) for e in tree.iter_leaf_entries())
+        expected = sorted(
+            ((float(x), float(y)), oid)
+            for oid, (x, y) in enumerate(points)
+        )
+        assert stored == expected
+
+    def test_queries_work(self):
+        from repro.query import nearest_neighbors
+
+        rng = random.Random(3)
+        points = [(rng.random(), rng.random()) for __ in range(1000)]
+        tree = hilbert_bulk_load(points)
+        found = nearest_neighbors(tree, (0.5, 0.5), k=3)
+        brute = sorted(math.dist((0.5, 0.5), p) for p in points)[:3]
+        assert [d for d, __ in found] == pytest.approx(brute, abs=1e-9)
+
+    def test_cpq_identical_to_str_tree(self):
+        from repro.core import k_closest_pairs
+        from repro.rtree.bulk import bulk_load
+
+        rng = random.Random(4)
+        pts_p = [(rng.random(), rng.random()) for __ in range(600)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(600)]
+        hp, hq = hilbert_bulk_load(pts_p), hilbert_bulk_load(pts_q)
+        sp, sq = bulk_load(pts_p), bulk_load(pts_q)
+        hilbert_result = k_closest_pairs(hp, hq, k=12)
+        str_result = k_closest_pairs(sp, sq, k=12)
+        assert hilbert_result.distances() == pytest.approx(
+            str_result.distances()
+        )
+
+    def test_rejects_non_2d(self):
+        config = RTreeConfig(layout=PageLayout(dimension=3))
+        with pytest.raises(ValueError, match="2-d"):
+            hilbert_bulk_load([(0.0, 0.0, 0.0)], config=config)
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(ValueError):
+            hilbert_bulk_load([(0.0, 0.0)], fill=2.0)
+
+    def test_empty(self):
+        tree = hilbert_bulk_load([])
+        assert len(tree) == 0
+
+
+class TestLinearSplitVariant:
+    def test_linear_variant_builds_valid_trees(self):
+        rng = random.Random(5)
+        tree = RTree(RTreeConfig(variant="linear"))
+        points = [(rng.random(), rng.random()) for __ in range(800)]
+        for oid, point in enumerate(points):
+            tree.insert(point, oid)
+        summary = validate(tree)
+        assert summary.entries == 800
+
+    def test_linear_variant_queries_correctly(self):
+        from repro.core import k_closest_pairs
+        from repro.rtree.bulk import bulk_load
+
+        rng = random.Random(6)
+        pts_p = [(rng.random(), rng.random()) for __ in range(300)]
+        pts_q = [(rng.random(), rng.random()) for __ in range(300)]
+        tree_p = RTree(RTreeConfig(variant="linear"))
+        for oid, point in enumerate(pts_p):
+            tree_p.insert(point, oid)
+        tree_q = bulk_load(pts_q)
+        result = k_closest_pairs(tree_p, tree_q, k=5)
+        reference = k_closest_pairs(bulk_load(pts_p), tree_q, k=5)
+        assert result.distances() == pytest.approx(reference.distances())
+
+    def test_identical_points_split_terminates(self):
+        tree = RTree(RTreeConfig(variant="linear"))
+        for i in range(60):
+            tree.insert((1.0, 1.0), i)
+        validate(tree)

@@ -1,0 +1,76 @@
+"""K-heap tests, including a hypothesis model check against sorting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.kheap import KHeap
+from repro.core.result import ClosestPair
+
+
+def pair(distance, tag=0):
+    return ClosestPair(distance, (0.0, 0.0), (distance, 0.0), tag, tag)
+
+
+class TestKHeap:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KHeap(0)
+
+    def test_threshold_infinite_until_full(self):
+        heap = KHeap(3)
+        heap.offer(pair(1.0))
+        heap.offer(pair(2.0))
+        assert heap.threshold == math.inf
+        heap.offer(pair(3.0))
+        assert heap.threshold == 3.0
+
+    def test_offer_replaces_worst(self):
+        heap = KHeap(2)
+        heap.offer(pair(5.0))
+        heap.offer(pair(3.0))
+        assert heap.offer(pair(1.0))
+        assert heap.threshold == 3.0
+        assert [p.distance for p in heap.sorted_pairs()] == [1.0, 3.0]
+
+    def test_offer_rejects_worse(self):
+        heap = KHeap(2)
+        heap.offer(pair(1.0))
+        heap.offer(pair(2.0))
+        assert not heap.offer(pair(9.0))
+        assert len(heap) == 2
+
+    def test_equal_distance_not_admitted_when_full(self):
+        heap = KHeap(1)
+        heap.offer(pair(2.0, tag=1))
+        assert not heap.offer(pair(2.0, tag=2))
+        assert heap.sorted_pairs()[0].p_oid == 1
+
+    def test_k_one(self):
+        heap = KHeap(1)
+        for d in (9.0, 4.0, 6.0, 1.0):
+            heap.offer(pair(d))
+        assert heap.threshold == 1.0
+
+    def test_iteration(self):
+        heap = KHeap(3)
+        for d in (3.0, 1.0, 2.0):
+            heap.offer(pair(d))
+        assert sorted(p.distance for p in heap) == [1.0, 2.0, 3.0]
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_model_matches_sorted_prefix(self, distances, k):
+        heap = KHeap(k)
+        for d in distances:
+            heap.offer(pair(d))
+        got = [p.distance for p in heap.sorted_pairs()]
+        want = sorted(distances)[:k]
+        assert got == want

@@ -1,0 +1,182 @@
+"""Unit and property tests for MBRs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.mbr import MBR
+
+coord = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def mbrs(draw, dims=2):
+    lo = [draw(coord) for __ in range(dims)]
+    hi = [draw(coord) for __ in range(dims)]
+    lo, hi = (
+        [min(a, b) for a, b in zip(lo, hi)],
+        [max(a, b) for a, b in zip(lo, hi)],
+    )
+    return MBR(lo, hi)
+
+
+@st.composite
+def points_in(draw, box: MBR):
+    return tuple(
+        draw(st.floats(min_value=l, max_value=h))
+        for l, h in zip(box.lo, box.hi)
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = MBR((0, 1), (2, 3))
+        assert box.lo == (0.0, 1.0)
+        assert box.hi == (2.0, 3.0)
+        assert box.dimension == 2
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MBR((1, 0), (0, 1))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MBR((0,), (1, 2))
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            MBR((), ())
+
+    def test_from_point_is_degenerate(self):
+        box = MBR.from_point((3, 4))
+        assert box.lo == box.hi == (3.0, 4.0)
+        assert box.area() == 0.0
+
+    def test_from_points(self):
+        box = MBR.from_points([(0, 5), (2, 1), (1, 3)])
+        assert box == MBR((0, 1), (2, 5))
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.from_points([])
+
+    def test_union_all(self):
+        boxes = [MBR((0, 0), (1, 1)), MBR((2, -1), (3, 0.5))]
+        assert MBR.union_all(boxes) == MBR((0, -1), (3, 1))
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.union_all([])
+
+
+class TestMeasures:
+    def test_area_margin_center(self):
+        box = MBR((0, 0), (4, 2))
+        assert box.area() == 8.0
+        assert box.margin() == 6.0
+        assert box.center == (2.0, 1.0)
+        assert box.side(0) == 4.0
+        assert box.side(1) == 2.0
+
+    def test_3d_volume(self):
+        box = MBR((0, 0, 0), (2, 3, 4))
+        assert box.area() == 24.0
+        assert box.margin() == 9.0
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        box = MBR((0, 0), (1, 1))
+        assert box.contains_point((0, 0))
+        assert box.contains_point((1, 1))
+        assert box.contains_point((0.5, 0.5))
+        assert not box.contains_point((1.0001, 0.5))
+
+    def test_contains_box(self):
+        outer = MBR((0, 0), (10, 10))
+        assert outer.contains(MBR((1, 1), (2, 2)))
+        assert outer.contains(outer)
+        assert not MBR((1, 1), (2, 2)).contains(outer)
+
+    def test_intersects_touching(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((1, 0), (2, 1))  # shares an edge
+        assert a.intersects(b)
+        assert not a.intersects(MBR((1.1, 0), (2, 1)))
+
+
+class TestCombination:
+    @given(mbrs(), mbrs())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a)
+        assert u.contains(b)
+
+    @given(mbrs(), mbrs())
+    def test_union_is_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(mbrs(), mbrs())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-6
+
+    @given(mbrs(), mbrs())
+    def test_intersection_consistent_with_predicate(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert a.contains(inter)
+            assert b.contains(inter)
+            assert inter.area() == pytest.approx(
+                a.intersection_area(b), abs=1e-6
+            )
+
+    @given(mbrs(), mbrs())
+    def test_intersection_area_symmetric(self, a, b):
+        assert a.intersection_area(b) == pytest.approx(
+            b.intersection_area(a)
+        )
+
+    @given(mbrs(), st.tuples(coord, coord))
+    def test_extended_to_point_contains(self, box, point):
+        extended = box.extended_to_point(point)
+        assert extended.contains_point(point)
+        assert extended.contains(box)
+
+
+class TestFacesAndCorners:
+    def test_face_count_2d(self):
+        box = MBR((0, 0), (1, 2))
+        faces = list(box.faces())
+        assert len(faces) == 4
+        # each face is degenerate in exactly one dimension
+        for face in faces:
+            flat = sum(
+                1 for l, h in zip(face.lo, face.hi) if l == h
+            )
+            assert flat >= 1
+            assert box.contains(face)
+
+    def test_corner_count(self):
+        assert len(list(MBR((0, 0), (1, 1)).corners())) == 4
+        assert len(list(MBR((0, 0, 0), (1, 1, 1)).corners())) == 8
+
+    @given(mbrs())
+    def test_corners_inside(self, box):
+        for corner in box.corners():
+            assert box.contains_point(corner)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((0.0, 0.0), (1.0, 1.0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MBR((0, 0), (1, 2))
+        assert a != "not a box"
+
+    def test_repr_roundtrippable_info(self):
+        assert "lo=(0.0, 0.0)" in repr(MBR((0, 0), (1, 1)))

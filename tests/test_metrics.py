@@ -1,0 +1,172 @@
+"""Property tests for the Section 2.3 metrics (the paper's Figure 1).
+
+The central soundness facts the CPQ algorithms rely on:
+
+* Inequality 1: MINMINDIST <= dist(p, q) <= MAXMAXDIST for all point
+  pairs drawn from the two MBRs.
+* Inequality 2: at least one pair of points, one per MBR built tightly
+  around its point set, lies within MINMAXDIST.
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import (
+    maxdist,
+    maxmaxdist,
+    mindist,
+    minmaxdist,
+    minmindist,
+    point_mbr_mindist,
+    point_mbr_minmaxdist,
+)
+from repro.geometry.minkowski import CHEBYSHEV, EUCLIDEAN, MANHATTAN
+
+coord = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+point = st.tuples(coord, coord)
+point_sets = st.lists(point, min_size=1, max_size=8)
+metrics = st.sampled_from([EUCLIDEAN, MANHATTAN, CHEBYSHEV])
+
+
+class TestKnownValues:
+    def test_disjoint_boxes(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((4, 0), (5, 1))
+        assert mindist(a, b) == pytest.approx(3.0)
+        assert maxdist(a, b) == pytest.approx(math.hypot(5, 1))
+
+    def test_intersecting_boxes_mindist_zero(self):
+        a = MBR((0, 0), (2, 2))
+        b = MBR((1, 1), (3, 3))
+        assert mindist(a, b) == 0.0
+
+    def test_contained_box(self):
+        outer = MBR((0, 0), (10, 10))
+        inner = MBR((4, 4), (6, 6))
+        assert mindist(outer, inner) == 0.0
+        assert maxdist(outer, inner) == pytest.approx(math.hypot(6, 6))
+
+    def test_diagonal_offset(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((2, 2), (3, 3))
+        assert mindist(a, b) == pytest.approx(math.sqrt(2))
+
+    def test_point_boxes_degenerate_to_point_distance(self):
+        a = MBR.from_point((0, 0))
+        b = MBR.from_point((3, 4))
+        for f in (mindist, maxdist, minmaxdist, minmindist, maxmaxdist):
+            assert f(a, b) == pytest.approx(5.0)
+
+    def test_minmaxdist_between_ordering(self):
+        a = MBR((0, 0), (2, 3))
+        b = MBR((5, 1), (9, 8))
+        lo = minmindist(a, b)
+        mid = minmaxdist(a, b)
+        hi = maxmaxdist(a, b)
+        assert lo <= mid <= hi
+
+    def test_manhattan_mindist(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((3, 3), (4, 4))
+        assert mindist(a, b, MANHATTAN) == pytest.approx(4.0)
+        assert mindist(a, b, CHEBYSHEV) == pytest.approx(2.0)
+
+
+class TestInequalityOne:
+    @given(point_sets, point_sets, metrics)
+    def test_bounds_hold_for_all_pairs(self, pts_p, pts_q, metric):
+        box_p = MBR.from_points(pts_p)
+        box_q = MBR.from_points(pts_q)
+        lo = minmindist(box_p, box_q, metric)
+        hi = maxmaxdist(box_p, box_q, metric)
+        for p, q in itertools.product(pts_p, pts_q):
+            d = metric.distance(p, q)
+            assert lo <= d * (1 + 1e-9) + 1e-9
+            assert d <= hi * (1 + 1e-9) + 1e-9
+
+    @given(point_sets, point_sets, metrics)
+    def test_mindist_is_tightest_zero_when_overlapping(
+        self, pts_p, pts_q, metric
+    ):
+        box_p = MBR.from_points(pts_p)
+        box_q = MBR.from_points(pts_q)
+        if box_p.intersects(box_q):
+            assert minmindist(box_p, box_q, metric) == 0.0
+
+
+class TestInequalityTwo:
+    @given(point_sets, point_sets, metrics)
+    def test_some_pair_within_minmaxdist(self, pts_p, pts_q, metric):
+        # The MBRs are tight around the sets, so every face holds a
+        # point; Inequality 2 must then guarantee one pair within the
+        # MINMAXDIST bound.
+        box_p = MBR.from_points(pts_p)
+        box_q = MBR.from_points(pts_q)
+        bound = minmaxdist(box_p, box_q, metric)
+        closest = min(
+            metric.distance(p, q)
+            for p, q in itertools.product(pts_p, pts_q)
+        )
+        assert closest <= bound * (1 + 1e-9) + 1e-9
+
+    @given(point_sets, point_sets, metrics)
+    def test_sandwiched_between_other_metrics(self, pts_p, pts_q, metric):
+        box_p = MBR.from_points(pts_p)
+        box_q = MBR.from_points(pts_q)
+        lo = minmindist(box_p, box_q, metric)
+        mid = minmaxdist(box_p, box_q, metric)
+        hi = maxmaxdist(box_p, box_q, metric)
+        assert lo <= mid * (1 + 1e-12) + 1e-12
+        assert mid <= hi * (1 + 1e-12) + 1e-12
+
+
+class TestSymmetry:
+    @given(point_sets, point_sets, metrics)
+    def test_all_metrics_symmetric(self, pts_p, pts_q, metric):
+        a = MBR.from_points(pts_p)
+        b = MBR.from_points(pts_q)
+        for f in (mindist, maxdist, minmaxdist):
+            assert f(a, b, metric) == pytest.approx(f(b, a, metric))
+
+
+class TestPointMBRMetrics:
+    @given(point, point_sets, metrics)
+    def test_mindist_lower_bounds_all(self, query, pts, metric):
+        box = MBR.from_points(pts)
+        bound = point_mbr_mindist(query, box, metric)
+        for p in pts:
+            assert bound <= metric.distance(query, p) * (1 + 1e-9) + 1e-9
+
+    @given(point, point_sets, metrics)
+    def test_minmaxdist_upper_bounds_some(self, query, pts, metric):
+        box = MBR.from_points(pts)
+        bound = point_mbr_minmaxdist(query, box, metric)
+        nearest = min(metric.distance(query, p) for p in pts)
+        assert nearest <= bound * (1 + 1e-9) + 1e-9
+
+    @given(point, point_sets, metrics)
+    def test_point_metrics_match_degenerate_box_metrics(
+        self, query, pts, metric
+    ):
+        box = MBR.from_points(pts)
+        as_box = MBR.from_point(query)
+        assert point_mbr_mindist(query, box, metric) == pytest.approx(
+            mindist(as_box, box, metric)
+        )
+
+    def test_point_inside_box_mindist_zero(self):
+        box = MBR((0, 0), (2, 2))
+        assert point_mbr_mindist((1, 1), box) == 0.0
+
+    def test_known_minmaxdist(self):
+        # Unit square, query at origin corner: pin x to the near face
+        # (x = 0) and go to the far y bound -> distance 1.
+        box = MBR((0, 0), (1, 1))
+        assert point_mbr_minmaxdist((0, 0), box) == pytest.approx(1.0)

@@ -1,0 +1,111 @@
+"""Unit and property tests for the Minkowski metric family."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.minkowski import (
+    CHEBYSHEV,
+    EUCLIDEAN,
+    MANHATTAN,
+    MinkowskiMetric,
+)
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points_2d = st.tuples(coords, coords)
+orders = st.one_of(
+    st.just(1.0), st.just(2.0), st.just(math.inf),
+    st.floats(min_value=1.0, max_value=10.0),
+)
+
+
+class TestConstruction:
+    def test_euclidean_is_p2(self):
+        assert EUCLIDEAN.p == 2.0
+
+    def test_manhattan_is_p1(self):
+        assert MANHATTAN.p == 1.0
+
+    def test_chebyshev_is_inf(self):
+        assert CHEBYSHEV.p == math.inf
+
+    @pytest.mark.parametrize("p", [0.5, 0.0, -1.0])
+    def test_order_below_one_rejected(self, p):
+        with pytest.raises(ValueError):
+            MinkowskiMetric(p)
+
+    def test_equality_and_hash(self):
+        assert MinkowskiMetric(2.0) == EUCLIDEAN
+        assert hash(MinkowskiMetric(2.0)) == hash(EUCLIDEAN)
+        assert MinkowskiMetric(3.0) != EUCLIDEAN
+
+
+class TestKnownValues:
+    def test_euclidean_345(self):
+        assert EUCLIDEAN.distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert MANHATTAN.distance((0, 0), (3, 4)) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert CHEBYSHEV.distance((0, 0), (3, 4)) == pytest.approx(4.0)
+
+    def test_p3(self):
+        metric = MinkowskiMetric(3.0)
+        expected = (3 ** 3 + 4 ** 3) ** (1 / 3)
+        assert metric.distance((0, 0), (3, 4)) == pytest.approx(expected)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            EUCLIDEAN.distance((0, 0), (1, 2, 3))
+
+
+class TestMetricAxioms:
+    @given(points_2d, orders)
+    def test_identity(self, a, p):
+        assert MinkowskiMetric(p).distance(a, a) == 0.0
+
+    @given(points_2d, points_2d, orders)
+    def test_symmetry(self, a, b, p):
+        metric = MinkowskiMetric(p)
+        assert metric.distance(a, b) == pytest.approx(
+            metric.distance(b, a)
+        )
+
+    @given(points_2d, points_2d, points_2d, orders)
+    def test_triangle_inequality(self, a, b, c, p):
+        metric = MinkowskiMetric(p)
+        direct = metric.distance(a, c)
+        detour = metric.distance(a, b) + metric.distance(b, c)
+        assert direct <= detour * (1 + 1e-9) + 1e-9
+
+    @given(points_2d, points_2d, orders)
+    def test_non_negative(self, a, b, p):
+        assert MinkowskiMetric(p).distance(a, b) >= 0.0
+
+    @given(points_2d, points_2d)
+    def test_order_monotonicity(self, a, b):
+        # L_p distance is non-increasing in p.
+        d1 = MANHATTAN.distance(a, b)
+        d2 = EUCLIDEAN.distance(a, b)
+        dinf = CHEBYSHEV.distance(a, b)
+        assert d1 >= d2 - 1e-9 * max(1.0, d1)
+        assert d2 >= dinf - 1e-9 * max(1.0, d2)
+
+
+class TestCombineFinish:
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), max_size=5), orders)
+    def test_combine_finish_consistent_with_distance(self, deltas, p):
+        metric = MinkowskiMetric(p)
+        origin = tuple(0.0 for __ in deltas)
+        point = tuple(deltas)
+        via_parts = metric.finish(metric.combine(deltas))
+        assert via_parts == pytest.approx(metric.distance(origin, point))
+
+    def test_combine_empty(self):
+        assert CHEBYSHEV.combine([]) == 0.0
+        assert EUCLIDEAN.combine([]) == 0.0

@@ -1,0 +1,118 @@
+"""Coverage for node internals and miscellaneous edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.rtree.entries import InternalEntry, LeafEntry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.storage.page import PageLayout
+from repro.storage.paged_file import PagedFile
+from repro.storage.store import MemoryPageStore
+
+
+class TestNode:
+    def test_empty_node_has_no_mbr(self):
+        with pytest.raises(ValueError):
+            Node(0, 0).mbr()
+
+    def test_points_array_on_internal_rejected(self):
+        node = Node(0, 1, [InternalEntry(MBR((0, 0), (1, 1)), 5)])
+        with pytest.raises(ValueError):
+            node.points_array()
+
+    def test_leaf_arrays_are_points(self):
+        node = Node(0, 0, [LeafEntry((1.0, 2.0), 0),
+                           LeafEntry((3.0, 4.0), 1)])
+        assert node.points_array().tolist() == [[1.0, 2.0], [3.0, 4.0]]
+        assert np.array_equal(node.lo_array(), node.hi_array())
+
+    def test_internal_arrays_are_bounds(self):
+        node = Node(0, 1, [
+            InternalEntry(MBR((0, 0), (1, 2)), 5),
+            InternalEntry(MBR((3, 3), (4, 5)), 6),
+        ])
+        assert node.lo_array().tolist() == [[0, 0], [3, 3]]
+        assert node.hi_array().tolist() == [[1, 2], [4, 5]]
+
+    def test_mutation_invalidates_caches(self):
+        node = Node(0, 0, [LeafEntry((0.0, 0.0), 0)])
+        first = node.mbr()
+        node.add(LeafEntry((5.0, 5.0), 1))
+        assert node.mbr() != first
+        removed = node.remove_at(1)
+        assert removed.oid == 1
+        assert node.mbr() == first
+
+    def test_roundtrip_through_tuples(self):
+        leaf = Node(7, 0, [LeafEntry((1.0, 2.0), 9)])
+        again = Node.from_tuples(7, 0, leaf.to_tuples())
+        assert again.entries == leaf.entries
+        internal = Node(8, 2, [InternalEntry(MBR((0, 0), (1, 1)), 3)])
+        again = Node.from_tuples(8, 2, internal.to_tuples())
+        assert again.entries == internal.entries
+
+    def test_repr_mentions_kind(self):
+        assert "leaf" in repr(Node(0, 0))
+        assert "internal" in repr(Node(0, 2))
+
+
+class TestEntryTypes:
+    def test_leaf_entry_equality_and_hash(self):
+        a = LeafEntry((1.0, 2.0), 3)
+        b = LeafEntry((1, 2), 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != LeafEntry((1.0, 2.0), 4)
+        assert a != "something"
+
+    def test_internal_entry_equality(self):
+        box = MBR((0, 0), (1, 1))
+        assert InternalEntry(box, 5) == InternalEntry(box, 5)
+        assert InternalEntry(box, 5) != InternalEntry(box, 6)
+
+    def test_leaf_entry_mbr_is_degenerate_and_cached(self):
+        entry = LeafEntry((1.0, 2.0), 0)
+        assert entry.mbr is entry.mbr
+        assert entry.mbr.lo == entry.mbr.hi == (1.0, 2.0)
+
+
+class TestConfigurationErrors:
+    def test_paged_file_page_size_mismatch(self):
+        store = MemoryPageStore(512)
+        file = PagedFile(store)
+        layout = PageLayout(page_size=1024)
+        with pytest.raises(ValueError, match="pages"):
+            RTree(RTreeConfig(layout=layout), file)
+
+    def test_tree_repr(self):
+        tree = RTree()
+        assert "points=0" in repr(tree)
+
+    def test_iterators_on_empty_tree(self):
+        tree = RTree()
+        assert list(tree.iter_leaf_entries()) == []
+        assert list(tree.iter_nodes()) == []
+
+    def test_insert_many(self):
+        tree = RTree()
+        tree.insert_many([(0.0, 0.0), (1.0, 1.0)])
+        assert sorted(e.oid for e in tree.iter_leaf_entries()) == [0, 1]
+        tree2 = RTree()
+        tree2.insert_many([(0.0, 0.0)], oids=[42])
+        assert next(iter(tree2.iter_leaf_entries())).oid == 42
+
+
+class TestClosestPairOrdering:
+    def test_sorted_by_distance_then_coordinates(self):
+        from repro.core.result import ClosestPair
+
+        pairs = [
+            ClosestPair(2.0, (0, 0), (2, 0)),
+            ClosestPair(1.0, (5, 5), (5, 6)),
+            ClosestPair(1.0, (0, 0), (1, 0)),
+        ]
+        ordered = sorted(pairs)
+        assert [p.distance for p in ordered] == [1.0, 1.0, 2.0]
+        assert ordered[0].p == (0, 0)

@@ -1,0 +1,128 @@
+"""Substrate query tests: range, point location, K-NN vs brute force."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.mbr import MBR
+from repro.geometry.minkowski import CHEBYSHEV, MANHATTAN
+from repro.query import (
+    nearest_neighbor,
+    nearest_neighbors,
+    point_location,
+    range_query,
+)
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+
+coord = st.floats(min_value=0, max_value=10, allow_nan=False)
+point_lists = st.lists(st.tuples(coord, coord), min_size=0, max_size=80)
+
+
+class TestRangeQuery:
+    @given(point_lists, coord, coord, coord, coord)
+    @settings(max_examples=30)
+    def test_matches_brute_force(self, points, x1, y1, x2, y2):
+        window = MBR(
+            (min(x1, x2), min(y1, y2)), (max(x1, x2), max(y1, y2))
+        )
+        tree = bulk_load(points)
+        got = sorted(e.oid for e in range_query(tree, window))
+        want = sorted(
+            i for i, p in enumerate(points) if window.contains_point(p)
+        )
+        assert got == want
+
+    def test_empty_tree(self):
+        assert range_query(RTree(), MBR((0, 0), (1, 1))) == []
+
+    def test_window_dimension_mismatch(self):
+        tree = bulk_load([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            range_query(tree, MBR((0, 0, 0), (1, 1, 1)))
+
+    def test_whole_space_returns_everything(self):
+        points = [(float(i), float(i)) for i in range(50)]
+        tree = bulk_load(points)
+        got = range_query(tree, MBR((-1, -1), (99, 99)))
+        assert len(got) == 50
+
+
+class TestPointLocation:
+    def test_finds_all_objects_at_point(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        tree = bulk_load(points)
+        oids = sorted(e.oid for e in point_location(tree, (1.0, 1.0)))
+        assert oids == [0, 1]
+
+    def test_miss(self):
+        tree = bulk_load([(1.0, 1.0)])
+        assert point_location(tree, (5.0, 5.0)) == []
+
+    def test_empty_tree(self):
+        assert point_location(RTree(), (0.0, 0.0)) == []
+
+    def test_dimension_mismatch(self):
+        tree = bulk_load([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            point_location(tree, (0.0, 0.0, 0.0))
+
+
+class TestKNN:
+    @given(point_lists, st.tuples(coord, coord), st.integers(1, 10))
+    @settings(max_examples=30)
+    def test_matches_brute_force(self, points, query, k):
+        tree = bulk_load(points)
+        found = nearest_neighbors(tree, query, k=k)
+        brute = sorted(math.dist(query, p) for p in points)[:k]
+        assert len(found) == min(k, len(points))
+        for (d, __), expected in zip(found, brute):
+            assert d == pytest.approx(expected, abs=1e-9)
+
+    def test_results_sorted(self):
+        rng = random.Random(1)
+        points = [(rng.random(), rng.random()) for __ in range(200)]
+        tree = bulk_load(points)
+        found = nearest_neighbors(tree, (0.5, 0.5), k=20)
+        distances = [d for d, __ in found]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_tree(self):
+        tree = bulk_load([(0.0, 0.0), (1.0, 1.0)])
+        assert len(nearest_neighbors(tree, (0.0, 0.0), k=10)) == 2
+
+    def test_empty_tree(self):
+        assert nearest_neighbors(RTree(), (0.0, 0.0), k=1) == []
+        assert nearest_neighbor(RTree(), (0.0, 0.0)) is None
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            nearest_neighbors(bulk_load([(0.0, 0.0)]), (0.0, 0.0), k=0)
+
+    def test_dimension_mismatch(self):
+        tree = bulk_load([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            nearest_neighbors(tree, (0.0,), k=1)
+
+    @pytest.mark.parametrize("metric", [MANHATTAN, CHEBYSHEV])
+    def test_other_metrics(self, metric):
+        rng = random.Random(2)
+        points = [(rng.random(), rng.random()) for __ in range(150)]
+        tree = bulk_load(points)
+        query = (0.3, 0.7)
+        found = nearest_neighbors(tree, query, k=5, metric=metric)
+        brute = sorted(metric.distance(query, p) for p in points)[:5]
+        for (d, __), expected in zip(found, brute):
+            assert d == pytest.approx(expected, abs=1e-9)
+
+    def test_knn_prunes_io(self):
+        # A 1-NN query must touch far fewer nodes than the tree holds.
+        rng = random.Random(3)
+        points = [(rng.random(), rng.random()) for __ in range(5000)]
+        tree = bulk_load(points)
+        tree.file.reset_for_query()
+        nearest_neighbors(tree, (0.5, 0.5), k=1)
+        assert tree.stats.disk_reads < tree.node_count() / 5

@@ -1,0 +1,64 @@
+"""Tests for the experiment Table type."""
+
+import pytest
+
+from repro.experiments.report import Table, format_value
+
+
+class TestFormatValue:
+    def test_ints(self):
+        assert format_value(7) == "7"
+        assert format_value(12345) == "12,345"
+
+    def test_floats(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(2.0) == "2"
+        assert format_value(123456.0) == "123,456"
+        assert format_value(float("nan")) == "-"
+
+    def test_strings(self):
+        assert format_value("HEAP") == "HEAP"
+
+
+class TestTable:
+    @pytest.fixture
+    def table(self):
+        t = Table("Demo", columns=("alg", "k", "cost"))
+        t.add("STD", 1, 10)
+        t.add("STD", 10, 25)
+        t.add("HEAP", 1, 8)
+        return t
+
+    def test_add_validates_arity(self, table):
+        with pytest.raises(ValueError):
+            table.add("STD", 1)
+
+    def test_column(self, table):
+        assert table.column("alg") == ["STD", "STD", "HEAP"]
+
+    def test_select(self, table):
+        rows = table.select(alg="STD")
+        assert len(rows) == 2
+        assert table.select(alg="STD", k=10)[0][2] == 25
+
+    def test_value(self, table):
+        assert table.value("cost", alg="HEAP", k=1) == 8
+
+    def test_value_requires_unique_match(self, table):
+        with pytest.raises(ValueError):
+            table.value("cost", alg="STD")
+
+    def test_render_contains_everything(self, table):
+        table.notes = "shape note"
+        text = table.render()
+        assert "Demo" in text
+        assert "HEAP" in text
+        assert "shape note" in text
+        assert str(table) == text
+
+    def test_csv(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        table.to_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "alg,k,cost"
+        assert len(lines) == 4

@@ -1,0 +1,99 @@
+"""Robustness and failure-injection tests.
+
+Storage-layer fuzzing (corrupted page images must fail loudly, not
+silently corrupt the tree), API misuse, and doctest execution for the
+modules that carry runnable examples.
+"""
+
+import doctest
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.page import HEADER_SIZE, PageLayout
+from repro.storage.serializer import NodeSerializer
+
+
+class TestSerializerFuzz:
+    layout = PageLayout(page_size=1024)
+
+    def make(self):
+        return NodeSerializer(self.layout)
+
+    @given(st.binary(min_size=1024, max_size=1024))
+    @settings(max_examples=40)
+    def test_arbitrary_pages_never_crash_outside_value_errors(self, blob):
+        serializer = self.make()
+        # Random bytes either decode into (level, entries) or raise a
+        # struct/Value error for impossible counts -- never anything
+        # else, and never an infinite loop.
+        try:
+            level, entries = serializer.deserialize(blob)
+        except (ValueError, struct.error):
+            return
+        assert isinstance(level, int)
+        assert isinstance(entries, list)
+
+    def test_truncated_page_rejected(self):
+        serializer = self.make()
+        with pytest.raises(ValueError):
+            serializer.deserialize(b"\x00" * 1023)
+
+    def test_oversized_count_detected(self):
+        serializer = self.make()
+        # Header claims more entries than a page can hold.
+        page = struct.pack("<ii8x", 0, 1_000) + b"\x00" * (1024 - 16)
+        with pytest.raises((ValueError, struct.error)):
+            serializer.deserialize(page)
+
+    def test_roundtrip_with_extreme_floats(self):
+        serializer = self.make()
+        entries = [
+            ((1e308, -1e308), 2 ** 62),
+            ((5e-324, -5e-324), -(2 ** 62)),
+            ((0.0, -0.0), 0),
+        ]
+        level, decoded = serializer.deserialize(
+            serializer.serialize_leaf(entries)
+        )
+        assert decoded == entries
+
+
+class TestHeaderArithmetic:
+    def test_header_size_matches_struct(self):
+        assert struct.calcsize("<ii8x") == HEADER_SIZE
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.core.api"],
+    )
+    def test_module_doctests_pass(self, module_name):
+        module = __import__(module_name, fromlist=["__name__"])
+        failures, tried = doctest.testmod(
+            module, verbose=False
+        ).failed, doctest.testmod(module, verbose=False).attempted
+        assert tried > 0
+        assert failures == 0
+
+
+class TestStatsMisuse:
+    def test_result_distances_consistent_after_many_queries(self):
+        # Re-running on the same trees must not leak state between
+        # queries (fresh K-heap, fresh bounds).
+        import random
+
+        from repro.core import k_closest_pairs
+        from repro.rtree.bulk import bulk_load
+
+        rng = random.Random(3)
+        pts = [(rng.random(), rng.random()) for __ in range(300)]
+        tree_p = bulk_load(pts)
+        tree_q = bulk_load(pts)
+        first = k_closest_pairs(tree_p, tree_q, k=7).distances()
+        for __ in range(3):
+            again = k_closest_pairs(tree_p, tree_q, k=7).distances()
+            assert again == first

@@ -1,0 +1,86 @@
+"""STR bulk-loading tests."""
+
+import random
+
+import pytest
+
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTreeConfig
+from repro.rtree.validate import validate
+from repro.storage.page import PageLayout
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize(
+        "n", [0, 1, 2, 13, 14, 15, 21, 22, 100, 441, 1000, 5000]
+    )
+    def test_invariants_across_sizes(self, n):
+        rng = random.Random(n)
+        points = [(rng.random(), rng.random()) for __ in range(n)]
+        tree = bulk_load(points)
+        summary = validate(tree)
+        assert summary.entries == n
+        assert len(tree) == n
+
+    def test_contents_preserved_with_oids(self):
+        rng = random.Random(2)
+        points = [(rng.random(), rng.random()) for __ in range(300)]
+        oids = [i * 7 for i in range(300)]
+        tree = bulk_load(points, oids=oids)
+        stored = sorted((e.point, e.oid) for e in tree.iter_leaf_entries())
+        expected = sorted(
+            ((float(x), float(y)), oid)
+            for (x, y), oid in zip(points, oids)
+        )
+        assert stored == expected
+
+    def test_default_oids_are_indices(self):
+        tree = bulk_load([(0.0, 0.0), (1.0, 1.0)])
+        oids = sorted(e.oid for e in tree.iter_leaf_entries())
+        assert oids == [0, 1]
+
+    def test_fill_factor_controls_leaf_count(self):
+        rng = random.Random(4)
+        points = [(rng.random(), rng.random()) for __ in range(2000)]
+        dense = bulk_load(points, fill=1.0)
+        sparse = bulk_load(points, fill=0.7)
+        validate(dense)
+        validate(sparse)
+        assert dense.node_count() <= sparse.node_count()
+
+    def test_bad_fill_rejected(self):
+        with pytest.raises(ValueError):
+            bulk_load([(0.0, 0.0)], fill=0.0)
+        with pytest.raises(ValueError):
+            bulk_load([(0.0, 0.0)], fill=1.5)
+
+    def test_small_layout(self):
+        layout = PageLayout(page_size=16 + 4 * 48)  # M = 4
+        rng = random.Random(6)
+        points = [(rng.random(), rng.random()) for __ in range(200)]
+        tree = bulk_load(points, config=RTreeConfig(layout=layout))
+        summary = validate(tree)
+        assert summary.entries == 200
+        assert tree.height >= 4  # tiny fanout forces a deep tree
+
+    def test_identical_points(self):
+        tree = bulk_load([(0.5, 0.5)] * 100)
+        validate(tree)
+
+    def test_bulk_tree_supports_further_inserts(self):
+        rng = random.Random(8)
+        points = [(rng.random(), rng.random()) for __ in range(500)]
+        tree = bulk_load(points)
+        for i in range(50):
+            tree.insert((rng.random(), rng.random()), 1000 + i)
+        summary = validate(tree)
+        assert summary.entries == 550
+
+    def test_bulk_tree_supports_deletes(self):
+        rng = random.Random(12)
+        points = [(rng.random(), rng.random()) for __ in range(300)]
+        tree = bulk_load(points)
+        for oid in range(0, 300, 2):
+            assert tree.delete(points[oid], oid)
+        summary = validate(tree)
+        assert summary.entries == 150

@@ -1,0 +1,103 @@
+"""R-tree deletion tests (CondenseTree, root shrinking, reinsertions)."""
+
+import random
+
+import pytest
+
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.rtree.validate import validate
+from repro.storage.page import PageLayout
+
+SMALL = PageLayout(page_size=16 + 4 * 48)  # M = 4
+
+
+def build(points):
+    tree = RTree(RTreeConfig(layout=SMALL))
+    for oid, point in enumerate(points):
+        tree.insert(point, oid)
+    return tree
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = build([(1.0, 1.0), (2.0, 2.0)])
+        assert tree.delete((1.0, 1.0), 0)
+        assert len(tree) == 1
+        validate(tree)
+
+    def test_delete_missing_point(self):
+        tree = build([(1.0, 1.0)])
+        assert not tree.delete((9.0, 9.0))
+        assert len(tree) == 1
+
+    def test_delete_wrong_oid(self):
+        tree = build([(1.0, 1.0)])
+        assert not tree.delete((1.0, 1.0), oid=999)
+        assert len(tree) == 1
+
+    def test_delete_without_oid_matches_any(self):
+        tree = build([(1.0, 1.0), (1.0, 1.0)])
+        assert tree.delete((1.0, 1.0))
+        assert len(tree) == 1
+
+    def test_delete_from_empty(self):
+        tree = RTree()
+        assert not tree.delete((0.0, 0.0))
+
+    def test_delete_last_point_empties_tree(self):
+        tree = build([(1.0, 1.0)])
+        assert tree.delete((1.0, 1.0), 0)
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.read_root() is None
+        validate(tree)
+
+    def test_root_shrinks_when_underfull(self):
+        points = [(float(i), float(i)) for i in range(5)]
+        tree = build(points)  # height 2 after root split
+        assert tree.height == 2
+        for i in range(4):
+            assert tree.delete((float(i), float(i)), i)
+        assert len(tree) == 1
+        validate(tree)
+
+    def test_delete_everything_large(self):
+        rng = random.Random(5)
+        points = [(rng.random(), rng.random()) for __ in range(120)]
+        tree = build(points)
+        order = list(range(len(points)))
+        rng.shuffle(order)
+        for oid in order:
+            assert tree.delete(points[oid], oid)
+            validate(tree)
+        assert len(tree) == 0
+
+    def test_interleaved_insert_delete(self):
+        rng = random.Random(17)
+        tree = RTree(RTreeConfig(layout=SMALL))
+        live = {}
+        next_oid = 0
+        for step in range(400):
+            if live and rng.random() < 0.45:
+                oid = rng.choice(list(live))
+                assert tree.delete(live.pop(oid), oid)
+            else:
+                point = (rng.random(), rng.random())
+                tree.insert(point, next_oid)
+                live[next_oid] = point
+                next_oid += 1
+            if step % 50 == 0:
+                validate(tree)
+        validate(tree)
+        stored = sorted((e.oid, e.point) for e in tree.iter_leaf_entries())
+        expected = sorted((oid, p) for oid, p in live.items())
+        assert stored == expected
+
+    def test_reinsert_after_delete_all(self):
+        tree = build([(float(i), 0.0) for i in range(30)])
+        for i in range(30):
+            assert tree.delete((float(i), 0.0), i)
+        for i in range(30):
+            tree.insert((0.0, float(i)), 100 + i)
+        assert len(tree) == 30
+        validate(tree)

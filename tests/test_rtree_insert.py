@@ -1,0 +1,155 @@
+"""R-tree / R*-tree insertion tests (invariants, variants, growth)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.rtree.validate import RTreeInvariantError, validate
+from repro.storage.page import PageLayout
+
+SMALL = PageLayout(page_size=16 + 4 * 48)  # M = 4, m = 1
+
+
+def build(points, variant="rstar", layout=SMALL):
+    tree = RTree(RTreeConfig(layout=layout, variant=variant))
+    for oid, point in enumerate(points):
+        tree.insert(point, oid)
+    return tree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.read_root() is None
+        validate(tree)
+
+    def test_single_insert(self):
+        tree = RTree()
+        tree.insert((1.0, 2.0), 7)
+        assert len(tree) == 1
+        assert tree.height == 1
+        root = tree.read_root()
+        assert root.is_leaf
+        assert root.entries[0].point == (1.0, 2.0)
+        assert root.entries[0].oid == 7
+        validate(tree)
+
+    def test_dimension_mismatch_rejected(self):
+        tree = RTree()
+        with pytest.raises(ValueError):
+            tree.insert((1.0, 2.0, 3.0), 0)
+
+    def test_duplicate_points_allowed(self):
+        tree = build([(0.5, 0.5)] * 20)
+        assert len(tree) == 20
+        validate(tree)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            RTreeConfig(variant="bogus")
+
+    def test_bad_reinsert_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            RTreeConfig(reinsert_fraction=0.0)
+
+
+class TestGrowth:
+    def test_root_split_grows_height(self):
+        # M = 4: the fifth insert must split the root leaf.
+        points = [(float(i), float(i)) for i in range(5)]
+        tree = build(points)
+        assert tree.height == 2
+        validate(tree)
+
+    @pytest.mark.parametrize("variant", ["rstar", "guttman"])
+    @pytest.mark.parametrize("n", [1, 4, 5, 16, 17, 65, 200])
+    def test_invariants_across_sizes(self, variant, n):
+        rng = random.Random(n)
+        points = [(rng.random(), rng.random()) for __ in range(n)]
+        tree = build(points, variant=variant)
+        summary = validate(tree)
+        assert summary.entries == n
+
+    def test_collinear_points(self):
+        tree = build([(float(i), 0.0) for i in range(50)])
+        validate(tree)
+
+    def test_identical_points_mass(self):
+        # Every MBR degenerates; splits must still terminate.
+        tree = build([(1.0, 1.0)] * 60)
+        validate(tree)
+
+    def test_clustered_insertion_order(self):
+        rng = random.Random(9)
+        cluster_a = [(rng.random() * 0.1, rng.random() * 0.1) for __ in range(60)]
+        cluster_b = [
+            (0.9 + rng.random() * 0.1, 0.9 + rng.random() * 0.1)
+            for __ in range(60)
+        ]
+        tree = build(cluster_a + cluster_b)
+        validate(tree)
+
+    def test_paper_capacity_tree(self):
+        rng = random.Random(1)
+        points = [(rng.random(), rng.random()) for __ in range(500)]
+        tree = build(points, layout=PageLayout(page_size=1024))
+        summary = validate(tree)
+        assert summary.entries == 500
+        assert tree.height >= 2
+
+
+class TestContents:
+    def test_all_points_retrievable(self):
+        rng = random.Random(3)
+        points = [(rng.random(), rng.random()) for __ in range(150)]
+        tree = build(points)
+        stored = sorted((e.point, e.oid) for e in tree.iter_leaf_entries())
+        expected = sorted(
+            ((float(x), float(y)), oid)
+            for oid, (x, y) in enumerate(points)
+        )
+        assert stored == expected
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=25)
+    def test_invariants_hold_for_any_input(self, points):
+        tree = build(points)
+        summary = validate(tree)
+        assert summary.entries == len(points)
+
+
+class TestValidateDetectsCorruption:
+    def test_detects_wrong_parent_mbr(self):
+        tree = build([(float(i), float(i)) for i in range(20)])
+        root = tree.read_root()
+        assert not root.is_leaf
+        # Corrupt the first entry's MBR and expect the validator to see it.
+        from repro.geometry.mbr import MBR
+        from repro.rtree.entries import InternalEntry
+
+        bad = InternalEntry(MBR((-99, -99), (99, 99)), root.entries[0].child_id)
+        root.entries[0] = bad
+        root.invalidate_caches()
+        tree._write_node(root)
+        with pytest.raises(RTreeInvariantError):
+            validate(tree)
+
+    def test_detects_count_mismatch(self):
+        tree = build([(float(i), float(i)) for i in range(10)])
+        tree._count += 1
+        with pytest.raises(RTreeInvariantError):
+            validate(tree)

@@ -1,0 +1,87 @@
+"""Hypothesis stateful (model-based) testing of the R-tree.
+
+A rule machine interleaves inserts, deletes and queries against a
+plain-dict model; after every step the structural invariants must hold
+and query answers must match the model.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.geometry.mbr import MBR
+from repro.query import nearest_neighbors, range_query
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.rtree.validate import validate
+from repro.storage.page import PageLayout
+
+SMALL = PageLayout(page_size=16 + 4 * 48)  # M = 4: splits early
+coordinate = st.integers(min_value=0, max_value=15).map(float)
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = RTree(RTreeConfig(layout=SMALL))
+        self.model = {}  # oid -> point
+        self.next_oid = 0
+
+    @rule(x=coordinate, y=coordinate)
+    def insert(self, x, y):
+        point = (x, y)
+        self.tree.insert(point, self.next_oid)
+        self.model[self.next_oid] = point
+        self.next_oid += 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        point = self.model.pop(oid)
+        assert self.tree.delete(point, oid)
+
+    @rule(x=coordinate, y=coordinate)
+    def delete_missing(self, x, y):
+        # A coordinate pair that is not in the model must not delete.
+        if (x, y) not in self.model.values():
+            assert not self.tree.delete((x, y), oid=99_999_999)
+
+    @rule(x1=coordinate, y1=coordinate, x2=coordinate, y2=coordinate)
+    def range_matches_model(self, x1, y1, x2, y2):
+        window = MBR(
+            (min(x1, x2), min(y1, y2)), (max(x1, x2), max(y1, y2))
+        )
+        got = sorted(e.oid for e in range_query(self.tree, window))
+        want = sorted(
+            oid
+            for oid, point in self.model.items()
+            if window.contains_point(point)
+        )
+        assert got == want
+
+    @precondition(lambda self: self.model)
+    @rule(x=coordinate, y=coordinate)
+    def nearest_matches_model(self, x, y):
+        found = nearest_neighbors(self.tree, (x, y), k=1)
+        best = min(
+            math.dist((x, y), point) for point in self.model.values()
+        )
+        assert found[0][0] == best
+
+    @invariant()
+    def structure_is_valid(self):
+        summary = validate(self.tree)
+        assert summary.entries == len(self.model)
+
+
+TestRTreeStateful = RTreeMachine.TestCase
+TestRTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

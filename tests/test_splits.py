@@ -1,0 +1,110 @@
+"""Direct property tests of the node split algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.mbr import MBR
+from repro.rtree.entries import LeafEntry
+from repro.rtree.splits import linear_split, quadratic_split, rstar_split
+
+SPLITS = {
+    "quadratic": quadratic_split,
+    "linear": linear_split,
+    "rstar": rstar_split,
+}
+
+coord = st.floats(min_value=0, max_value=100, allow_nan=False)
+
+
+@st.composite
+def entry_batches(draw):
+    min_entries = draw(st.integers(min_value=1, max_value=4))
+    count = draw(
+        st.integers(min_value=2 * min_entries, max_value=24)
+    )
+    entries = [
+        LeafEntry((draw(coord), draw(coord)), i) for i in range(count)
+    ]
+    return entries, min_entries
+
+
+class TestSplitContracts:
+    @pytest.mark.parametrize("name", sorted(SPLITS))
+    @given(batch=entry_batches())
+    @settings(max_examples=25)
+    def test_partition_is_complete_and_disjoint(self, name, batch):
+        entries, min_entries = batch
+        group_a, group_b = SPLITS[name](entries, min_entries)
+        combined = sorted(e.oid for e in group_a + group_b)
+        assert combined == sorted(e.oid for e in entries)
+        assert not ({e.oid for e in group_a} & {e.oid for e in group_b})
+
+    @pytest.mark.parametrize("name", sorted(SPLITS))
+    @given(batch=entry_batches())
+    @settings(max_examples=25)
+    def test_minimum_occupancy_respected(self, name, batch):
+        entries, min_entries = batch
+        group_a, group_b = SPLITS[name](entries, min_entries)
+        assert len(group_a) >= min_entries
+        assert len(group_b) >= min_entries
+
+    @pytest.mark.parametrize("name", sorted(SPLITS))
+    def test_too_few_entries_rejected(self, name):
+        entries = [LeafEntry((0.0, 0.0), 0), LeafEntry((1.0, 1.0), 1)]
+        with pytest.raises(ValueError):
+            SPLITS[name](entries, min_entries=2)
+
+    @pytest.mark.parametrize("name", sorted(SPLITS))
+    def test_identical_entries_split_legally(self, name):
+        entries = [LeafEntry((5.0, 5.0), i) for i in range(10)]
+        group_a, group_b = SPLITS[name](entries, 3)
+        assert len(group_a) >= 3
+        assert len(group_b) >= 3
+
+
+class TestSplitQuality:
+    def _clustered_entries(self):
+        rng = random.Random(0)
+        left = [
+            LeafEntry((rng.random(), rng.random()), i)
+            for i in range(10)
+        ]
+        right = [
+            LeafEntry((rng.random() + 10.0, rng.random()), 100 + i)
+            for i in range(10)
+        ]
+        return left + right
+
+    @pytest.mark.parametrize("name", sorted(SPLITS))
+    def test_obvious_clusters_are_separated(self, name):
+        entries = self._clustered_entries()
+        group_a, group_b = SPLITS[name](entries, 4)
+        sides = [
+            {("L" if e.oid < 100 else "R") for e in group}
+            for group in (group_a, group_b)
+        ]
+        # every split algorithm must separate two far-apart clusters
+        assert sides == [{"L"}, {"R"}] or sides == [{"R"}, {"L"}]
+
+    def test_rstar_minimises_overlap_against_quadratic(self):
+        # On an overlap-prone configuration the R* split's group
+        # overlap must not exceed the quadratic split's.
+        rng = random.Random(4)
+        entries = [
+            LeafEntry((rng.gauss(0, 1), rng.gauss(0, 1)), i)
+            for i in range(20)
+        ]
+
+        def overlap(groups):
+            mbrs = [
+                MBR.from_points([e.point for e in group])
+                for group in groups
+            ]
+            return mbrs[0].intersection_area(mbrs[1])
+
+        rstar = overlap(rstar_split(entries, 7))
+        quad = overlap(quadratic_split(entries, 7))
+        assert rstar <= quad + 1e-12

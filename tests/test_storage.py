@@ -1,0 +1,175 @@
+"""Tests for page layout, serialisation and page stores."""
+
+import pytest
+
+from repro.storage.page import HEADER_SIZE, PageLayout, entry_size
+from repro.storage.serializer import NodeSerializer, PageOverflowError
+from repro.storage.store import FilePageStore, MemoryPageStore
+
+
+class TestPageLayout:
+    def test_paper_configuration(self):
+        # 1 KiB pages give the paper's M = 21, m = 7.
+        layout = PageLayout(page_size=1024)
+        assert layout.max_entries == 21
+        assert layout.min_entries == 7
+
+    def test_capacity_scales_with_page_size(self):
+        assert PageLayout(page_size=2048).max_entries == 42
+        assert PageLayout(page_size=512).max_entries == 10
+
+    def test_entry_size_grows_with_dimension(self):
+        assert entry_size(2) == 48
+        assert entry_size(3) == 56
+        assert entry_size(1) == 48  # padded to the 2-d slot
+
+    def test_min_entries_never_exceeds_half(self):
+        layout = PageLayout(page_size=1024, min_fill_ratio=0.5)
+        assert layout.min_entries <= layout.max_entries // 2
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(ValueError):
+            PageLayout(page_size=32)
+
+    def test_bad_fill_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            PageLayout(min_fill_ratio=0.8)
+        with pytest.raises(ValueError):
+            PageLayout(min_fill_ratio=0.0)
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            PageLayout(dimension=0)
+
+
+class TestSerializer:
+    @pytest.fixture
+    def serializer(self):
+        return NodeSerializer(PageLayout(page_size=1024))
+
+    def test_leaf_roundtrip(self, serializer):
+        entries = [((1.5, -2.5), 7), ((0.0, 0.0), 0), ((1e9, -1e-9), 42)]
+        page = serializer.serialize_leaf(entries)
+        assert len(page) == 1024
+        level, decoded = serializer.deserialize(page)
+        assert level == 0
+        assert decoded == entries
+
+    def test_internal_roundtrip(self, serializer):
+        entries = [
+            ((0.0, 0.0), (1.0, 1.0), 5),
+            ((-3.5, 2.0), (7.25, 9.0), 12),
+        ]
+        page = serializer.serialize_internal(3, entries)
+        level, decoded = serializer.deserialize(page)
+        assert level == 3
+        assert decoded == entries
+
+    def test_empty_node_roundtrip(self, serializer):
+        level, decoded = serializer.deserialize(serializer.serialize_leaf([]))
+        assert level == 0
+        assert decoded == []
+
+    def test_full_node_roundtrip(self, serializer):
+        entries = [((float(i), float(-i)), i) for i in range(21)]
+        level, decoded = serializer.deserialize(
+            serializer.serialize_leaf(entries)
+        )
+        assert decoded == entries
+
+    def test_overflow_rejected(self, serializer):
+        entries = [((float(i), 0.0), i) for i in range(22)]
+        with pytest.raises(PageOverflowError):
+            serializer.serialize_leaf(entries)
+
+    def test_internal_level_zero_rejected(self, serializer):
+        with pytest.raises(ValueError):
+            serializer.serialize_internal(0, [])
+
+    def test_wrong_page_size_rejected(self, serializer):
+        with pytest.raises(ValueError):
+            serializer.deserialize(b"\x00" * 100)
+
+    def test_3d_roundtrip(self):
+        serializer = NodeSerializer(PageLayout(page_size=1024, dimension=3))
+        entries = [((1.0, 2.0, 3.0), 9)]
+        level, decoded = serializer.deserialize(
+            serializer.serialize_leaf(entries)
+        )
+        assert decoded == entries
+
+
+class StoreContract:
+    """Behaviour shared by every page store implementation."""
+
+    def make(self, tmp_path):
+        raise NotImplementedError
+
+    def test_allocate_write_read(self, tmp_path):
+        store = self.make(tmp_path)
+        pid = store.allocate()
+        data = bytes(range(256)) * 4
+        store.write(pid, data)
+        assert store.read(pid) == data
+
+    def test_ids_unique(self, tmp_path):
+        store = self.make(tmp_path)
+        ids = {store.allocate() for __ in range(50)}
+        assert len(ids) == 50
+
+    def test_freed_page_reused(self, tmp_path):
+        store = self.make(tmp_path)
+        pid = store.allocate()
+        store.free(pid)
+        assert store.allocate() == pid
+
+    def test_read_unwritten_or_freed_rejected(self, tmp_path):
+        store = self.make(tmp_path)
+        pid = store.allocate()
+        store.free(pid)
+        with pytest.raises(KeyError):
+            store.read(pid)
+
+    def test_write_unallocated_rejected(self, tmp_path):
+        store = self.make(tmp_path)
+        with pytest.raises(KeyError):
+            store.write(999, b"\x00" * 1024)
+
+    def test_wrong_size_write_rejected(self, tmp_path):
+        store = self.make(tmp_path)
+        pid = store.allocate()
+        with pytest.raises(ValueError):
+            store.write(pid, b"short")
+
+    def test_len_counts_live_pages(self, tmp_path):
+        store = self.make(tmp_path)
+        a = store.allocate()
+        store.allocate()
+        assert len(store) == 2
+        store.free(a)
+        assert len(store) == 1
+
+
+class TestMemoryPageStore(StoreContract):
+    def make(self, tmp_path):
+        return MemoryPageStore(1024)
+
+
+class TestFilePageStore(StoreContract):
+    def make(self, tmp_path):
+        return FilePageStore(str(tmp_path / "pages.bin"), 1024)
+
+    def test_data_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "persist.bin")
+        with FilePageStore(path, 1024) as store:
+            pid = store.allocate()
+            store.write(pid, b"\xab" * 1024)
+            store.flush()
+        with FilePageStore(path, 1024) as reopened:
+            assert reopened.read(pid) == b"\xab" * 1024
+
+    def test_non_page_aligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(ValueError):
+            FilePageStore(str(path), 1024)

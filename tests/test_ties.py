@@ -1,0 +1,104 @@
+"""Tie-break criteria (T1-T5) tests."""
+
+import pytest
+
+from repro.core.ties import (
+    DEFAULT_TIE_BREAK,
+    TIE_CRITERIA,
+    CandidateGeometry,
+    TieBreak,
+)
+from repro.geometry.mbr import MBR
+
+
+def geometry(mbr_p, mbr_q, root_area_p=1.0, root_area_q=1.0):
+    return CandidateGeometry(
+        mbr_p=mbr_p,
+        mbr_q=mbr_q,
+        root_area_p=root_area_p,
+        root_area_q=root_area_q,
+    )
+
+
+class TestCriteria:
+    def test_registry_complete(self):
+        assert sorted(TIE_CRITERIA) == ["T1", "T2", "T3", "T4", "T5"]
+
+    def test_t1_prefers_largest_root_relative_mbr(self):
+        t1 = TIE_CRITERIA["T1"]
+        big = geometry(MBR((0, 0), (4, 4)), MBR((0, 0), (1, 1)))
+        small = geometry(MBR((0, 0), (1, 1)), MBR((0, 0), (1, 1)))
+        assert t1.key(big) < t1.key(small)
+
+    def test_t1_normalises_by_root_area(self):
+        t1 = TIE_CRITERIA["T1"]
+        # Same absolute areas, but the second pair's roots are huge, so
+        # its relative areas are tiny.
+        a = geometry(MBR((0, 0), (2, 2)), MBR((0, 0), (1, 1)),
+                     root_area_p=4.0, root_area_q=4.0)
+        b = geometry(MBR((0, 0), (2, 2)), MBR((0, 0), (1, 1)),
+                     root_area_p=400.0, root_area_q=400.0)
+        assert t1.key(a) < t1.key(b)
+
+    def test_t2_prefers_smallest_minmaxdist(self):
+        t2 = TIE_CRITERIA["T2"]
+        near = geometry(MBR((0, 0), (1, 1)), MBR((1.5, 0), (2.5, 1)))
+        far = geometry(MBR((0, 0), (1, 1)), MBR((9, 0), (10, 1)))
+        assert t2.key(near) < t2.key(far)
+
+    def test_t2_uses_precomputed_minmax(self):
+        t2 = TIE_CRITERIA["T2"]
+        g = geometry(MBR((0, 0), (1, 1)), MBR((5, 5), (6, 6)))
+        g.minmax = 42.0
+        assert t2.key(g) == 42.0
+
+    def test_t3_prefers_largest_area_sum(self):
+        t3 = TIE_CRITERIA["T3"]
+        large = geometry(MBR((0, 0), (3, 3)), MBR((0, 0), (2, 2)))
+        small = geometry(MBR((0, 0), (1, 1)), MBR((0, 0), (1, 1)))
+        assert t3.key(large) < t3.key(small)
+
+    def test_t4_prefers_least_dead_space(self):
+        t4 = TIE_CRITERIA["T4"]
+        # Adjacent boxes embed tightly; distant boxes leave dead space.
+        tight = geometry(MBR((0, 0), (1, 1)), MBR((1, 0), (2, 1)))
+        loose = geometry(MBR((0, 0), (1, 1)), MBR((9, 0), (10, 1)))
+        assert t4.key(tight) < t4.key(loose)
+
+    def test_t5_prefers_largest_intersection(self):
+        t5 = TIE_CRITERIA["T5"]
+        overlapping = geometry(MBR((0, 0), (2, 2)), MBR((1, 1), (3, 3)))
+        disjoint = geometry(MBR((0, 0), (1, 1)), MBR((5, 5), (6, 6)))
+        assert t5.key(overlapping) < t5.key(disjoint)
+
+
+class TestTieBreak:
+    def test_parse_name(self):
+        tb = TieBreak.parse("t2")
+        assert [c.name for c in tb.criteria] == ["T2"]
+
+    def test_parse_sequence(self):
+        tb = TieBreak.parse(["T1", "T4"])
+        assert [c.name for c in tb.criteria] == ["T1", "T4"]
+
+    def test_parse_criterion_and_tiebreak(self):
+        tb = TieBreak.parse(TIE_CRITERIA["T3"])
+        assert TieBreak.parse(tb) is tb
+        assert [c.name for c in tb.criteria] == ["T3"]
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            TieBreak.parse("T9")
+
+    def test_chain_resolves_at_second_stage(self):
+        # Two pairs tie on T3 (equal area sums) but differ on T2.
+        tb = TieBreak.parse(["T3", "T2"])
+        near = geometry(MBR((0, 0), (1, 1)), MBR((1.5, 0), (2.5, 1)))
+        far = geometry(MBR((0, 0), (1, 1)), MBR((9, 0), (10, 1)))
+        key_near = tb.key(near)
+        key_far = tb.key(far)
+        assert key_near[0] == key_far[0]
+        assert key_near < key_far
+
+    def test_default_is_t1(self):
+        assert [c.name for c in DEFAULT_TIE_BREAK.criteria] == ["T1"]

@@ -1,0 +1,125 @@
+"""The vectorised metrics must agree exactly with the scalar ones."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import maxdist, mindist, minmaxdist
+from repro.geometry.minkowski import (
+    CHEBYSHEV,
+    EUCLIDEAN,
+    MANHATTAN,
+    MinkowskiMetric,
+)
+from repro.geometry.vectorized import (
+    pairwise_maxdist,
+    pairwise_mindist,
+    pairwise_minmaxdist,
+    pairwise_point_distances,
+    point_rect_mindist,
+)
+
+coord = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+metrics = st.sampled_from(
+    [EUCLIDEAN, MANHATTAN, CHEBYSHEV, MinkowskiMetric(3.0)]
+)
+
+
+@st.composite
+def rect_arrays(draw, max_rects=5):
+    n = draw(st.integers(min_value=1, max_value=max_rects))
+    los, his = [], []
+    for __ in range(n):
+        a = (draw(coord), draw(coord))
+        b = (draw(coord), draw(coord))
+        los.append([min(a[0], b[0]), min(a[1], b[1])])
+        his.append([max(a[0], b[0]), max(a[1], b[1])])
+    return np.array(los), np.array(his)
+
+
+def as_mbrs(lo, hi):
+    return [MBR(l, h) for l, h in zip(lo, hi)]
+
+
+@given(rect_arrays(), rect_arrays(), metrics)
+def test_pairwise_mindist_matches_scalar(rects_a, rects_b, metric):
+    lo_a, hi_a = rects_a
+    lo_b, hi_b = rects_b
+    matrix = pairwise_mindist(lo_a, hi_a, lo_b, hi_b, metric)
+    for i, a in enumerate(as_mbrs(lo_a, hi_a)):
+        for j, b in enumerate(as_mbrs(lo_b, hi_b)):
+            assert matrix[i, j] == pytest.approx(
+                mindist(a, b, metric), abs=1e-9
+            )
+
+
+@given(rect_arrays(), rect_arrays(), metrics)
+def test_pairwise_maxdist_matches_scalar(rects_a, rects_b, metric):
+    lo_a, hi_a = rects_a
+    lo_b, hi_b = rects_b
+    matrix = pairwise_maxdist(lo_a, hi_a, lo_b, hi_b, metric)
+    for i, a in enumerate(as_mbrs(lo_a, hi_a)):
+        for j, b in enumerate(as_mbrs(lo_b, hi_b)):
+            assert matrix[i, j] == pytest.approx(
+                maxdist(a, b, metric), abs=1e-9
+            )
+
+
+@given(rect_arrays(max_rects=3), rect_arrays(max_rects=3), metrics)
+def test_pairwise_minmaxdist_matches_scalar(rects_a, rects_b, metric):
+    lo_a, hi_a = rects_a
+    lo_b, hi_b = rects_b
+    matrix = pairwise_minmaxdist(lo_a, hi_a, lo_b, hi_b, metric)
+    for i, a in enumerate(as_mbrs(lo_a, hi_a)):
+        for j, b in enumerate(as_mbrs(lo_b, hi_b)):
+            assert matrix[i, j] == pytest.approx(
+                minmaxdist(a, b, metric), abs=1e-9
+            )
+
+
+@given(
+    st.lists(st.tuples(coord, coord), min_size=1, max_size=6),
+    st.lists(st.tuples(coord, coord), min_size=1, max_size=6),
+    metrics,
+)
+def test_pairwise_point_distances(points_a, points_b, metric):
+    matrix = pairwise_point_distances(
+        np.array(points_a), np.array(points_b), metric
+    )
+    assert matrix.shape == (len(points_a), len(points_b))
+    for i, a in enumerate(points_a):
+        for j, b in enumerate(points_b):
+            assert matrix[i, j] == pytest.approx(
+                metric.distance(a, b), abs=1e-9
+            )
+
+
+@given(
+    st.lists(st.tuples(coord, coord), min_size=1, max_size=5),
+    rect_arrays(),
+    metrics,
+)
+def test_point_rect_mindist(points, rects, metric):
+    lo, hi = rects
+    matrix = point_rect_mindist(np.array(points), lo, hi, metric)
+    from repro.geometry.metrics import point_mbr_mindist
+
+    for i, p in enumerate(points):
+        for j, box in enumerate(as_mbrs(lo, hi)):
+            assert matrix[i, j] == pytest.approx(
+                point_mbr_mindist(p, box, metric), abs=1e-9
+            )
+
+
+def test_shapes():
+    lo_a = np.zeros((3, 2))
+    hi_a = np.ones((3, 2))
+    lo_b = np.zeros((4, 2))
+    hi_b = np.ones((4, 2))
+    assert pairwise_mindist(lo_a, hi_a, lo_b, hi_b).shape == (3, 4)
+    assert pairwise_maxdist(lo_a, hi_a, lo_b, hi_b).shape == (3, 4)
+    assert pairwise_minmaxdist(lo_a, hi_a, lo_b, hi_b).shape == (3, 4)
