@@ -1,17 +1,22 @@
 """Command-line interface.
 
-Five subcommands cover the library's workflow end to end::
+The subcommands cover the library's workflow end to end::
 
     repro-cpq generate --kind sequoia --n 10000 --out sites.npy
     repro-cpq generate --kind uniform --n 10000 --overlap 0.5 --out q.npy
     repro-cpq build sites.npy --tree sites.pages
     repro-cpq info --tree sites.pages
     repro-cpq query sites.npy q.npy --k 10 --algorithm heap
+    repro-cpq batch sites.npy q.npy requests.jsonl --workers 8
+    repro-cpq serve sites.npy q.npy --deadline-ms 50 < requests.jsonl
     repro-cpq figure fig04 --quick
 
 ``query`` accepts either raw point files (trees are built in memory)
-or page files produced by ``build``.  Also runnable as
-``python -m repro ...``.
+or page files produced by ``build``.  ``batch`` and ``serve`` run
+JSONL request streams through the concurrent query service
+(:mod:`repro.service`); both emit one JSON response per request plus a
+serve-stats metrics snapshot.  Also runnable as ``python -m repro
+...``.
 """
 
 from __future__ import annotations
@@ -156,6 +161,158 @@ def cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_service_request(obj: dict, default_pair: str = "default"):
+    """Decode one JSONL request object into a service request."""
+    from repro.service import CPQRequest, KNNRequest, RangeRequest
+
+    op = obj.get("op", "cpq")
+    common = {
+        "pair": obj.get("pair", default_pair),
+        "deadline_ms": obj.get("deadline_ms"),
+        "use_cache": bool(obj.get("use_cache", True)),
+    }
+    if op == "cpq":
+        return CPQRequest(
+            k=int(obj.get("k", 1)),
+            algorithm=obj.get("algorithm", "auto"),
+            **common,
+        )
+    if op == "knn":
+        return KNNRequest(
+            point=tuple(obj["point"]),
+            k=int(obj.get("k", 1)),
+            side=obj.get("side", "p"),
+            **common,
+        )
+    if op == "range":
+        return RangeRequest(
+            lo=tuple(obj["lo"]),
+            hi=tuple(obj["hi"]),
+            side=obj.get("side", "p"),
+            **common,
+        )
+    raise ValueError(f"unknown op {op!r}; expected cpq, knn or range")
+
+
+def _response_json(response) -> dict:
+    """Flatten a QueryResponse to a JSON-serialisable dict."""
+    out = {
+        "status": response.status,
+        "kind": response.kind,
+        "cached": response.cached,
+        "latency_ms": round(response.latency_ms, 3),
+        "disk_reads": response.disk_reads,
+    }
+    if response.algorithm is not None:
+        out["algorithm"] = response.algorithm
+    if response.error is not None:
+        out["error"] = response.error
+    if not response.ok:
+        return out
+    if response.kind == "cpq":
+        out["pairs"] = [
+            {"distance": p.distance, "p": list(p.p), "q": list(p.q),
+             "p_oid": p.p_oid, "q_oid": p.q_oid}
+            for p in response.result.pairs
+        ]
+    elif response.kind == "knn":
+        out["neighbors"] = [
+            {"distance": d, "point": list(e.point), "oid": e.oid}
+            for d, e in response.result
+        ]
+    else:
+        out["points"] = [
+            {"point": list(e.point), "oid": e.oid}
+            for e in response.result
+        ]
+    return out
+
+
+def _make_service(args: argparse.Namespace):
+    """Build a QueryService over the two trees named by the args."""
+    from repro.service import QueryService
+
+    tree_p = _load_tree(args.left)
+    tree_q = _load_tree(args.right)
+    if args.buffer:
+        tree_p.file.set_buffer_capacity(args.buffer // 2)
+        tree_q.file.set_buffer_capacity(args.buffer // 2)
+    service = QueryService(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_size=args.cache_size,
+        default_deadline_ms=args.deadline_ms,
+    )
+    service.register_pair(args.pair, tree_p, tree_q)
+    return service
+
+
+def _emit_serve_stats(service, args: argparse.Namespace) -> None:
+    snapshot = service.snapshot()
+    rendered = json.dumps(snapshot, indent=2, sort_keys=True)
+    print("# serve-stats", file=sys.stderr)
+    print(rendered, file=sys.stderr)
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            handle.write(rendered + "\n")
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    try:
+        if args.requests == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(args.requests) as handle:
+                lines = handle.read().splitlines()
+        requests = [
+            _parse_service_request(json.loads(line), args.pair)
+            for line in lines
+            if line.strip()
+        ]
+        responses = service.run_batch(requests)
+        sink = open(args.out, "w") if args.out else sys.stdout
+        try:
+            for response in responses:
+                print(json.dumps(_response_json(response)), file=sink)
+        finally:
+            if args.out:
+                sink.close()
+        statuses: dict = {}
+        for response in responses:
+            statuses[response.status] = statuses.get(response.status, 0) + 1
+        summary = ", ".join(
+            f"{count} {status}" for status, count in sorted(statuses.items())
+        )
+        print(f"# batch: {len(responses)} requests ({summary}) on "
+              f"{args.workers} workers", file=sys.stderr)
+        _emit_serve_stats(service, args)
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    try:
+        for line in sys.stdin:
+            if not line.strip():
+                continue
+            try:
+                request = _parse_service_request(json.loads(line), args.pair)
+            except (ValueError, KeyError) as exc:
+                print(json.dumps({"status": "error",
+                                  "error": f"bad request: {exc}"}),
+                      flush=True)
+                continue
+            response = service.execute(request)
+            print(json.dumps(_response_json(response)), flush=True)
+        _emit_serve_stats(service, args)
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments import run_figure
 
@@ -244,6 +401,43 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--limit", type=int, default=None,
                       help="print at most this many pairs")
     join.set_defaults(func=cmd_join)
+
+    def add_service_args(parser_):
+        parser_.add_argument("left", help="points file or .pages tree (P)")
+        parser_.add_argument("right", help="points file or .pages tree (Q)")
+        parser_.add_argument("--workers", type=int, default=4,
+                             help="worker thread count")
+        parser_.add_argument("--deadline-ms", type=float, default=None,
+                             help="default per-query deadline")
+        parser_.add_argument("--cache-size", type=int, default=128,
+                             help="result cache capacity (0 disables)")
+        parser_.add_argument("--queue-size", type=int, default=256,
+                             help="admission queue bound")
+        parser_.add_argument("--buffer", type=int, default=0,
+                             help="total LRU buffer pages (B/2 per tree)")
+        parser_.add_argument("--pair", default="default",
+                             help="name the registered tree pair")
+        parser_.add_argument("--stats-json", default=None,
+                             help="also write the serve-stats snapshot "
+                                  "to this file")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSONL file of queries through the query service",
+    )
+    add_service_args(batch)
+    batch.add_argument("requests",
+                       help="JSONL request file, or - for stdin")
+    batch.add_argument("--out", default=None,
+                       help="write JSONL responses here (default stdout)")
+    batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve JSONL queries from stdin until EOF",
+    )
+    add_service_args(serve)
+    serve.set_defaults(func=cmd_serve)
 
     figure = sub.add_parser(
         "figure", help="regenerate one of the paper's figures"

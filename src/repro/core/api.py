@@ -18,7 +18,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.engine import CPQContext
 from repro.core.exhaustive import exhaustive
@@ -48,6 +48,7 @@ def k_closest_pairs(
     buffer_pages: Optional[int] = None,
     reset_stats: bool = True,
     maxmax_pruning: bool = True,
+    cancel_check: Optional[Callable[[], None]] = None,
 ) -> CPQResult:
     """Find the K closest pairs between the points of two R-trees.
 
@@ -78,6 +79,10 @@ def k_closest_pairs(
         For K > 1 with SIM/STD/HEAP: use the MAXMAXDIST accumulation
         bound of Section 3.8 (the paper's implemented variant); off
         falls back to the plain K-heap-threshold modification.
+    cancel_check:
+        Cooperative-cancellation probe, called once per visited node
+        pair; whatever it raises (a deadline, a shutdown signal)
+        propagates out of the traversal.  Used by the query service.
 
     Returns
     -------
@@ -101,7 +106,7 @@ def k_closest_pairs(
         tree_p.file.reset_for_query()
         tree_q.file.reset_for_query()
 
-    ctx = CPQContext(tree_p, tree_q, k, metric)
+    ctx = CPQContext(tree_p, tree_q, k, metric, cancel_check=cancel_check)
     if algorithm == "naive":
         return naive(ctx, height_strategy)
     if algorithm == "exh":

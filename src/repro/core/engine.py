@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -83,6 +83,7 @@ class CPQContext:
         tree_q: RTree,
         k: int,
         metric: MinkowskiMetric = EUCLIDEAN,
+        cancel_check: Optional[Callable[[], None]] = None,
     ):
         if tree_p.dimension != tree_q.dimension:
             raise ValueError("trees index points of different dimensions")
@@ -90,6 +91,10 @@ class CPQContext:
         self.tree_q = tree_q
         self.k = k
         self.metric = metric
+        #: Cooperative cancellation: called once per visited node pair;
+        #: raising from it (e.g. a service deadline) aborts the
+        #: traversal, leaving trees and buffers consistent.
+        self.cancel_check = cancel_check
         self.kheap = KHeap(k)
         #: Extra upper bound on the K-th best distance, tightened from
         #: MINMAXDIST / MAXMAXDIST (independent of the K-heap content).
@@ -107,6 +112,11 @@ class CPQContext:
         """The pruning bound T: best of the K-heap top and the metric
         bound."""
         return min(self.kheap.threshold, self.bound)
+
+    def check_cancelled(self) -> None:
+        """Run the caller-supplied cancellation probe, if any."""
+        if self.cancel_check is not None:
+            self.cancel_check()
 
     def update_bound(self, value: float) -> None:
         if value < self.bound:
@@ -385,6 +395,7 @@ def run_recursive(
 def _visit(
     ctx: CPQContext, node_p: Node, node_q: Node, options: CPQOptions
 ) -> None:
+    ctx.check_cancelled()
     ctx.stats.node_pairs_visited += 1
     if node_p.is_leaf and node_q.is_leaf:
         scan_leaf_pair(ctx, node_p, node_q)

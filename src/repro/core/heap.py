@@ -66,6 +66,7 @@ def heap_algorithm(
     def process_pair(node_p: Node, node_q: Node) -> None:
         """Step CP2/CP3 for one visited pair."""
         nonlocal seq
+        ctx.check_cancelled()
         ctx.stats.node_pairs_visited += 1
         if node_p.is_leaf and node_q.is_leaf:
             scan_leaf_pair(ctx, node_p, node_q)

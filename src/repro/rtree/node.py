@@ -69,13 +69,16 @@ class Node:
     def _build_arrays(self) -> None:
         if self._lo is not None:
             return
+        # ``_lo`` doubles as the "built" guard, so it must be published
+        # last: concurrent readers that observe it non-None must also
+        # see ``_hi`` (nodes are shared read-only between queries).
         if self.is_leaf:
             pts = np.array([e.point for e in self.entries], dtype=float)
-            self._lo = pts
             self._hi = pts
+            self._lo = pts
         else:
-            self._lo = np.array([e.mbr.lo for e in self.entries], dtype=float)
             self._hi = np.array([e.mbr.hi for e in self.entries], dtype=float)
+            self._lo = np.array([e.mbr.lo for e in self.entries], dtype=float)
 
     # -- mutation ----------------------------------------------------------------
 

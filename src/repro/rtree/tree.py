@@ -93,6 +93,10 @@ class RTree:
         self.root_id: Optional[int] = None
         self.height = 0  # number of levels; 0 means empty
         self._count = 0
+        #: Bumped on every structural mutation (insert/delete); cached
+        #: query results keyed on it (see repro.service.cache) become
+        #: unreachable the moment the indexed set changes.
+        self.generation = 0
         self._nodes: dict[int, Node] = {}
         self._reinserted_levels: Set[int] = set()
 
@@ -175,6 +179,7 @@ class RTree:
             )
         entry = LeafEntry(tuple(point), oid)
         self._count += 1
+        self.generation += 1
         if self.root_id is None:
             root = self._new_node(0)
             root.add(entry)
@@ -325,6 +330,7 @@ class RTree:
         leaf, index, path = found
         leaf.remove_at(index)
         self._count -= 1
+        self.generation += 1
         self._condense(leaf, path)
         self._shrink_root()
         return True

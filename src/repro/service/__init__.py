@@ -1,0 +1,46 @@
+"""Concurrent query service over the reproduction's query algorithms.
+
+The serving layer the ROADMAP's north star asks for: register R-tree
+pairs once, then feed K-CPQ / K-NN / range requests to a bounded
+worker pool with per-request deadlines, cost-model-driven algorithm
+planning, a generation-keyed result cache, and a metrics snapshot for
+operators.  See ``docs/SERVICE.md`` for the architecture.
+"""
+
+from repro.service.cache import ResultCache, cache_key
+from repro.service.engine import (
+    CPQRequest,
+    DeadlineExceeded,
+    KNNRequest,
+    PendingQuery,
+    QueryResponse,
+    QueryService,
+    RangeRequest,
+    ServiceClosed,
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.planner import PlanDecision, Planner
+
+__all__ = [
+    "CPQRequest",
+    "DeadlineExceeded",
+    "KNNRequest",
+    "PendingQuery",
+    "PlanDecision",
+    "Planner",
+    "QueryResponse",
+    "QueryService",
+    "RangeRequest",
+    "ResultCache",
+    "ServiceClosed",
+    "ServiceMetrics",
+    "STATUS_DEADLINE",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "cache_key",
+]

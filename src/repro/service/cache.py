@@ -1,0 +1,113 @@
+"""Result cache for the query service.
+
+The RCP line of work (Xue et al.; Chan, Rahul & Xue -- see PAPERS.md)
+treats closest-pair as a *repeated-query* problem where work amortises
+across a query stream.  This module supplies the serving-side half of
+that idea: an LRU map from fully-qualified query keys to finished
+results.
+
+Keys embed the *generation* of both trees of the queried pair
+(:attr:`repro.rtree.tree.RTree.generation`, bumped on every insert and
+delete), so a stale entry can never be returned -- after a mutation
+the service looks up a key containing the new generation and simply
+misses.  The service additionally calls :meth:`invalidate_pair` when
+it observes a generation bump, which eagerly drops every entry of the
+mutated pair instead of waiting for LRU pressure to push them out.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+#: Sentinel distinguishing "miss" from a cached None.
+_MISS = object()
+
+
+def cache_key(
+    pair: str,
+    generation_p: int,
+    generation_q: int,
+    params: Tuple,
+) -> Tuple:
+    """Build the full cache key for one request against one pair.
+
+    ``params`` is the request's own identity tuple (kind, k, point,
+    window, ...); the pair name leads so :meth:`ResultCache.
+    invalidate_pair` can match on it.
+    """
+    return (pair, generation_p, generation_q) + params
+
+
+class ResultCache:
+    """Thread-safe LRU cache of query results.
+
+    Capacity 0 disables caching (every ``get`` misses, ``put`` is a
+    no-op), mirroring the paper's "zero buffer" convention.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Tuple[bool, Any]:
+        """Look up a key; returns ``(hit, value)``."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key: Tuple, value: Any) -> None:
+        """Install a result, evicting the LRU entry when full.
+
+        Cached values are shared between all future hits: treat them
+        as immutable.
+        """
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate_pair(self, pair: str) -> int:
+        """Eagerly drop every entry of one registered pair.
+
+        Returns the number of entries removed.  Called by the service
+        when it observes a tree-generation bump, so no entry of a
+        mutated pair survives even transiently.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == pair]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list:
+        """Snapshot of the current keys (oldest first); for tests."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,580 @@
+"""Concurrent query service over registered R-tree pairs.
+
+:class:`QueryService` turns the one-shot query functions of this
+library into a servable system: requests (K-CPQ, K-NN, range) are
+admitted onto a bounded queue, executed by a pool of worker threads,
+answered from a generation-keyed result cache when possible, routed to
+an algorithm by the cost-model planner, and observed end to end by
+:class:`~repro.service.metrics.ServiceMetrics`.
+
+Design points:
+
+* **Admission control** -- the request queue is bounded; a submit
+  against a full queue resolves immediately with a structured
+  ``rejected`` response instead of blocking the caller.
+* **Deadlines** -- every request may carry ``deadline_ms`` (measured
+  from admission, so queue wait counts).  K-CPQ execution checks the
+  deadline cooperatively once per visited node pair via the
+  ``cancel_check`` hook threaded through :mod:`repro.core.engine`; an
+  expired query resolves with a ``deadline_exceeded`` response and
+  leaves trees and buffer pools consistent (the traversal only reads).
+* **No exception escapes the pool** -- worker errors become ``error``
+  responses carrying the exception text.
+* **Mutations** -- tree inserts/deletes bump the tree's generation
+  counter; the service notices on the next query against the pair,
+  eagerly drops the pair's cache entries and re-shapes the trees for
+  the planner.  Mutating a tree *while* queries on it are in flight is
+  not supported -- quiesce the pair first (the trees' write paths are
+  not synchronised with readers).
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.cost_model import TreeShape
+from repro.core.api import ALGORITHMS, k_closest_pairs
+from repro.geometry.mbr import MBR
+from repro.query.knn import nearest_neighbors
+from repro.query.range_query import range_query
+from repro.rtree.tree import RTree
+from repro.service.cache import ResultCache, cache_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.planner import PlanDecision, Planner
+
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_DEADLINE = "deadline_exceeded"
+STATUS_ERROR = "error"
+
+
+class DeadlineExceeded(Exception):
+    """Raised inside a worker when a query's deadline expires."""
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when submitting to a closed service."""
+
+
+# ---------------------------------------------------------------------------
+# Requests and responses
+# ---------------------------------------------------------------------------
+
+def _as_point(values: Sequence[float]) -> Tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+@dataclass(frozen=True)
+class CPQRequest:
+    """K closest pairs between the two trees of a registered pair."""
+
+    kind: ClassVar[str] = "cpq"
+
+    pair: str
+    k: int = 1
+    #: ``"auto"`` delegates to the planner; any of
+    #: :data:`repro.core.api.ALGORITHMS` forces that algorithm.
+    algorithm: str = "auto"
+    deadline_ms: Optional[float] = None
+    use_cache: bool = True
+
+    def cache_params(self) -> Tuple:
+        return (self.kind, self.k, self.algorithm)
+
+
+@dataclass(frozen=True)
+class KNNRequest:
+    """K nearest neighbours of a point in one side of a pair."""
+
+    kind: ClassVar[str] = "knn"
+
+    pair: str
+    point: Tuple[float, ...]
+    k: int = 1
+    #: Which tree of the pair to search: ``"p"`` or ``"q"``.
+    side: str = "p"
+    deadline_ms: Optional[float] = None
+    use_cache: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "point", _as_point(self.point))
+
+    def cache_params(self) -> Tuple:
+        return (self.kind, self.side, self.point, self.k)
+
+
+@dataclass(frozen=True)
+class RangeRequest:
+    """All points of one side of a pair inside a window."""
+
+    kind: ClassVar[str] = "range"
+
+    pair: str
+    lo: Tuple[float, ...]
+    hi: Tuple[float, ...]
+    side: str = "p"
+    deadline_ms: Optional[float] = None
+    use_cache: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "lo", _as_point(self.lo))
+        object.__setattr__(self, "hi", _as_point(self.hi))
+
+    def cache_params(self) -> Tuple:
+        return (self.kind, self.side, self.lo, self.hi)
+
+
+Request = Union[CPQRequest, KNNRequest, RangeRequest]
+
+
+@dataclass
+class QueryResponse:
+    """The structured outcome of one request (any status)."""
+
+    status: str
+    kind: str
+    #: ``CPQResult`` for cpq; list of ``(distance, LeafEntry)`` for
+    #: knn; list of ``LeafEntry`` for range.  ``None`` unless ``ok``.
+    #: Shared with the cache on hits -- treat as immutable.
+    result: Any = None
+    algorithm: Optional[str] = None
+    plan: Optional[PlanDecision] = None
+    cached: bool = False
+    latency_ms: float = 0.0
+    disk_reads: int = 0
+    buffer_hits: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class PendingQuery:
+    """Caller-side handle to an admitted (or rejected) request."""
+
+    def __init__(self, request: Request, deadline: Optional[float]):
+        self.request = request
+        self.deadline = deadline
+        self.admitted_at = time.monotonic()
+        self._event = threading.Event()
+        self._response: Optional[QueryResponse] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResponse:
+        """Block until the response is ready."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("query still pending")
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: QueryResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+class _RegisteredPair:
+    """Service-side state of one (tree_p, tree_q) registration."""
+
+    __slots__ = ("name", "tree_p", "tree_q", "lock", "shapes",
+                 "seen_generations")
+
+    def __init__(self, name: str, tree_p: RTree, tree_q: RTree):
+        self.name = name
+        self.tree_p = tree_p
+        self.tree_q = tree_q
+        self.lock = threading.Lock()
+        #: ``(shape_p, shape_q)`` for the planner, or None before the
+        #: first CPQ / after a mutation.  A shape is itself None when
+        #: the cost model cannot describe the tree.
+        self.shapes: Optional[Tuple] = None
+        self.seen_generations = (tree_p.generation, tree_q.generation)
+
+    def buffer_pages(self) -> int:
+        return (self.tree_p.file.buffer.capacity
+                + self.tree_q.file.buffer.capacity)
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+class QueryService:
+    """Thread-pooled query execution over registered tree pairs.
+
+    Parameters
+    ----------
+    workers:
+        Worker thread count.
+    queue_size:
+        Admission bound; submits beyond it are rejected, not queued.
+    cache_size:
+        Result-cache capacity (0 disables caching).
+    default_deadline_ms:
+        Deadline applied to requests that do not carry their own.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_size: int = 64,
+        cache_size: int = 128,
+        default_deadline_ms: Optional[float] = None,
+        planner: Optional[Planner] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.default_deadline_ms = default_deadline_ms
+        self.planner = planner if planner is not None else Planner()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache = ResultCache(cache_size)
+        self._queue: "queue.Queue[Optional[PendingQuery]]" = queue.Queue(
+            maxsize=queue_size
+        )
+        self._pairs: Dict[str, _RegisteredPair] = {}
+        self._pairs_lock = threading.Lock()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- registration ------------------------------------------------------
+
+    def register_pair(
+        self, name: str, tree_p: RTree, tree_q: RTree
+    ) -> None:
+        """Make a tree pair addressable by request.pair == ``name``."""
+        if tree_p.dimension != tree_q.dimension:
+            raise ValueError("trees index points of different dimensions")
+        with self._pairs_lock:
+            self._pairs[name] = _RegisteredPair(name, tree_p, tree_q)
+
+    def pairs(self) -> List[str]:
+        with self._pairs_lock:
+            return sorted(self._pairs)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: Request) -> PendingQuery:
+        """Admit a request; never blocks and never raises for load.
+
+        Returns a handle whose :meth:`PendingQuery.result` yields the
+        structured response -- immediately resolved as ``rejected``
+        when the service is saturated or closed.
+        """
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.default_deadline_ms
+        )
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        pending = PendingQuery(request, deadline)
+        self.metrics.record_submitted()
+        if self._closed:
+            self._finish(pending, QueryResponse(
+                status=STATUS_REJECTED, kind=request.kind,
+                error="service closed",
+            ))
+            return pending
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self._finish(pending, QueryResponse(
+                status=STATUS_REJECTED, kind=request.kind,
+                error="admission queue full",
+            ))
+            return pending
+        self.metrics.set_queue_depth(self._queue.qsize())
+        return pending
+
+    def execute(
+        self, request: Request, timeout: Optional[float] = None
+    ) -> QueryResponse:
+        """Submit one request and wait for its response."""
+        return self.submit(request).result(timeout)
+
+    def run_batch(
+        self, requests: Sequence[Request],
+        timeout: Optional[float] = None,
+    ) -> List[QueryResponse]:
+        """Submit a batch and collect responses in request order."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.result(timeout) for handle in handles]
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable metrics snapshot (the serve-stats view)."""
+        self.metrics.set_queue_depth(self._queue.qsize())
+        return self.metrics.snapshot(cache_size=len(self.cache))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally drain and join the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for __ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- worker internals --------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            pending = self._queue.get()
+            try:
+                if pending is None:
+                    return
+                self.metrics.set_queue_depth(self._queue.qsize())
+                self._run(pending)
+            finally:
+                self._queue.task_done()
+
+    def _run(self, pending: PendingQuery) -> None:
+        request = pending.request
+        try:
+            self._check_deadline(pending.deadline)
+            response = self._execute(request, pending.deadline)
+        except DeadlineExceeded:
+            response = QueryResponse(
+                status=STATUS_DEADLINE, kind=request.kind,
+                error="deadline exceeded",
+            )
+        except Exception as exc:  # noqa: BLE001 -- pool must survive
+            response = QueryResponse(
+                status=STATUS_ERROR, kind=request.kind,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        self._finish(pending, response)
+
+    def _finish(
+        self, pending: PendingQuery, response: QueryResponse
+    ) -> None:
+        response.latency_ms = (
+            (time.monotonic() - pending.admitted_at) * 1000.0
+        )
+        self.metrics.record_query(
+            kind=response.kind,
+            status=response.status,
+            latency_ms=response.latency_ms,
+            cached=response.cached,
+            disk_reads=response.disk_reads,
+            buffer_hits=response.buffer_hits,
+        )
+        pending._resolve(response)
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float]) -> None:
+        if deadline is not None and time.monotonic() > deadline:
+            raise DeadlineExceeded()
+
+    @staticmethod
+    def _deadline_probe(
+        deadline: Optional[float],
+    ) -> Optional[Callable[[], None]]:
+        if deadline is None:
+            return None
+
+        def probe() -> None:
+            if time.monotonic() > deadline:
+                raise DeadlineExceeded()
+
+        return probe
+
+    def _execute(
+        self, request: Request, deadline: Optional[float]
+    ) -> QueryResponse:
+        with self._pairs_lock:
+            pair = self._pairs.get(request.pair)
+        if pair is None:
+            return QueryResponse(
+                status=STATUS_ERROR, kind=request.kind,
+                error=f"unknown pair {request.pair!r}",
+            )
+        generation_p, generation_q = self._refresh_pair(pair)
+
+        key = None
+        if request.use_cache and self.cache.capacity > 0:
+            key = cache_key(
+                pair.name, generation_p, generation_q,
+                request.cache_params(),
+            )
+            hit, value = self.cache.get(key)
+            if hit:
+                return QueryResponse(
+                    status=STATUS_OK, kind=request.kind,
+                    result=value["result"],
+                    algorithm=value["algorithm"],
+                    plan=value["plan"],
+                    cached=True,
+                )
+            self.metrics.record_cache_miss()
+
+        before_p = pair.tree_p.stats.snapshot()
+        before_q = pair.tree_q.stats.snapshot()
+        if request.kind == "cpq":
+            result, algorithm, plan = self._run_cpq(pair, request, deadline)
+        elif request.kind == "knn":
+            result, algorithm, plan = self._run_knn(pair, request, deadline)
+        else:
+            result, algorithm, plan = self._run_range(pair, request, deadline)
+        after_p = pair.tree_p.stats.snapshot()
+        after_q = pair.tree_q.stats.snapshot()
+        disk_reads = (
+            (after_p.disk_reads - before_p.disk_reads)
+            + (after_q.disk_reads - before_q.disk_reads)
+        )
+        buffer_hits = (
+            (after_p.buffer_hits - before_p.buffer_hits)
+            + (after_q.buffer_hits - before_q.buffer_hits)
+        )
+        if key is not None:
+            self.cache.put(
+                key,
+                {"result": result, "algorithm": algorithm, "plan": plan},
+            )
+        return QueryResponse(
+            status=STATUS_OK, kind=request.kind,
+            result=result, algorithm=algorithm, plan=plan,
+            disk_reads=disk_reads, buffer_hits=buffer_hits,
+        )
+
+    def _run_cpq(
+        self,
+        pair: _RegisteredPair,
+        request: CPQRequest,
+        deadline: Optional[float],
+    ):
+        plan = None
+        if request.algorithm == "auto":
+            shape_p, shape_q = self._shapes(pair)
+            plan = self.planner.plan(
+                shape_p, shape_q, pair.buffer_pages(), k=request.k
+            )
+            algorithm = plan.algorithm
+            self.metrics.record_planner_decision(algorithm)
+        elif request.algorithm in ALGORITHMS:
+            algorithm = request.algorithm
+        else:
+            raise ValueError(
+                f"unknown algorithm {request.algorithm!r}; expected "
+                f"'auto' or one of {ALGORITHMS}"
+            )
+        result = k_closest_pairs(
+            pair.tree_p,
+            pair.tree_q,
+            k=request.k,
+            algorithm=algorithm,
+            reset_stats=False,
+            cancel_check=self._deadline_probe(deadline),
+        )
+        return result, algorithm, plan
+
+    def _run_knn(
+        self,
+        pair: _RegisteredPair,
+        request: KNNRequest,
+        deadline: Optional[float],
+    ):
+        tree = self._side(pair, request.side)
+        found = nearest_neighbors(tree, request.point, k=request.k)
+        # The single-tree traversals have no cooperative hook; they are
+        # short (O(height) node reads), so the deadline is enforced at
+        # the boundaries only.
+        self._check_deadline(deadline)
+        return found, None, None
+
+    def _run_range(
+        self,
+        pair: _RegisteredPair,
+        request: RangeRequest,
+        deadline: Optional[float],
+    ):
+        tree = self._side(pair, request.side)
+        found = range_query(tree, MBR(request.lo, request.hi))
+        self._check_deadline(deadline)
+        return found, None, None
+
+    @staticmethod
+    def _side(pair: _RegisteredPair, side: str) -> RTree:
+        if side == "p":
+            return pair.tree_p
+        if side == "q":
+            return pair.tree_q
+        raise ValueError(f"side must be 'p' or 'q', not {side!r}")
+
+    # -- pair state --------------------------------------------------------
+
+    def _refresh_pair(self, pair: _RegisteredPair) -> Tuple[int, int]:
+        """Observe tree generations; invalidate on mutation.
+
+        Returns the generations the subsequent execution is keyed on.
+        """
+        generations = (pair.tree_p.generation, pair.tree_q.generation)
+        with pair.lock:
+            if generations != pair.seen_generations:
+                pair.seen_generations = generations
+                pair.shapes = None
+                self.cache.invalidate_pair(pair.name)
+        return generations
+
+    def _shapes(self, pair: _RegisteredPair) -> Tuple:
+        """Planner shapes for a pair, rebuilt once per generation.
+
+        The rebuilding scan reads every node; its I/O is attributed to
+        the query that triggered it (it is real I/O the service paid).
+        """
+        with pair.lock:
+            if pair.shapes is None:
+                pair.shapes = (
+                    self._shape_or_none(pair.tree_p),
+                    self._shape_or_none(pair.tree_q),
+                )
+            return pair.shapes
+
+    @staticmethod
+    def _shape_or_none(tree: RTree) -> Optional[TreeShape]:
+        if tree.root_id is None or tree.dimension != 2:
+            return None
+        return TreeShape.from_tree(tree)

@@ -1,0 +1,146 @@
+"""Observability for the query service.
+
+One :class:`ServiceMetrics` instance aggregates everything the service
+operator needs to watch: admission outcomes, per-query latency (as a
+count/sum/min/max summary plus fixed histogram buckets), planner
+decision tallies, result-cache hit rates, per-query I/O counters and a
+queue-depth gauge.  All methods are thread-safe; :meth:`snapshot`
+returns a plain nested dict that serialises directly to JSON (the
+CLI's ``serve-stats`` output).
+
+I/O counters are exact for serial workloads; under concurrency a
+query's delta can include reads issued by an overlapping query on the
+same trees, so treat them as aggregate observability, not accounting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Optional
+
+#: Upper edges of the latency histogram, in milliseconds.
+LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    math.inf,
+)
+
+
+class ServiceMetrics:
+    """Thread-safe counters, histogram and gauges for one service."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._statuses: Dict[str, int] = {}
+        self._kinds: Dict[str, int] = {}
+        self._submitted = 0
+        self._planner: Dict[str, int] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_min = math.inf
+        self._latency_max = 0.0
+        self._latency_buckets = [0] * len(LATENCY_BUCKETS_MS)
+        self._disk_reads = 0
+        self._buffer_hits = 0
+        self._queue_depth = 0
+        self._queue_depth_max = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_query(
+        self,
+        kind: str,
+        status: str,
+        latency_ms: float,
+        cached: bool = False,
+        disk_reads: int = 0,
+        buffer_hits: int = 0,
+    ) -> None:
+        """Record one finished (or rejected) query."""
+        with self._lock:
+            self._statuses[status] = self._statuses.get(status, 0) + 1
+            self._kinds[kind] = self._kinds.get(kind, 0) + 1
+            if cached:
+                self._cache_hits += 1
+            self._latency_count += 1
+            self._latency_total += latency_ms
+            self._latency_min = min(self._latency_min, latency_ms)
+            self._latency_max = max(self._latency_max, latency_ms)
+            for i, edge in enumerate(LATENCY_BUCKETS_MS):
+                if latency_ms <= edge:
+                    self._latency_buckets[i] += 1
+                    break
+            self._disk_reads += disk_reads
+            self._buffer_hits += buffer_hits
+
+    def record_cache_miss(self) -> None:
+        with self._lock:
+            self._cache_misses += 1
+
+    def record_planner_decision(self, algorithm: str) -> None:
+        """Tally one planner choice (only planner-made, not explicit)."""
+        with self._lock:
+            self._planner[algorithm] = self._planner.get(algorithm, 0) + 1
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+            self._queue_depth_max = max(self._queue_depth_max, depth)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def planner_decisions(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._planner)
+
+    def snapshot(self, cache_size: Optional[int] = None) -> dict:
+        """A JSON-serialisable view of every metric."""
+        with self._lock:
+            hits, misses = self._cache_hits, self._cache_misses
+            looked_up = hits + misses
+            buckets = {}
+            for edge, count in zip(LATENCY_BUCKETS_MS,
+                                   self._latency_buckets):
+                label = "+inf" if math.isinf(edge) else f"<={edge:g}ms"
+                buckets[label] = count
+            snapshot = {
+                "queries": {
+                    "submitted": self._submitted,
+                    "by_status": dict(self._statuses),
+                    "by_kind": dict(self._kinds),
+                },
+                "latency_ms": {
+                    "count": self._latency_count,
+                    "total": self._latency_total,
+                    "mean": (self._latency_total / self._latency_count
+                             if self._latency_count else 0.0),
+                    "min": (self._latency_min
+                            if self._latency_count else 0.0),
+                    "max": self._latency_max,
+                    "buckets": buckets,
+                },
+                "planner": dict(self._planner),
+                "cache": {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": hits / looked_up if looked_up else 0.0,
+                },
+                "io": {
+                    "disk_reads": self._disk_reads,
+                    "buffer_hits": self._buffer_hits,
+                },
+                "queue": {
+                    "depth": self._queue_depth,
+                    "max_depth": self._queue_depth_max,
+                },
+            }
+        if cache_size is not None:
+            snapshot["cache"]["size"] = cache_size
+        return snapshot

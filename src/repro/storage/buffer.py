@@ -6,10 +6,21 @@ B/2 pages".  Each tree therefore owns one :class:`LRUBuffer`; a read
 that finds its page in the buffer is free, anything else counts as one
 disk access.  Capacity 0 disables caching entirely (the paper's "zero
 buffer" configuration).
+
+The buffer is thread-safe: an internal :class:`threading.RLock` guards
+every operation, so concurrent queries (see :mod:`repro.service`) can
+share one pool.  The loader callback of :meth:`read` runs *outside*
+the lock -- a slow (or latency-simulated) disk read must not serialise
+every other thread's buffer traffic.  Replacement-policy subclasses
+customise behaviour through three hooks (:meth:`_touch`,
+:meth:`_register`, :meth:`_evict_one`) rather than overriding the
+locked entry points, which keeps them thread-safe for free and makes
+:meth:`resize` evict with the same policy as normal admission.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Optional
 
@@ -25,52 +36,81 @@ class LRUBuffer:
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStats()
         self._pages: "OrderedDict[int, bytes]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
-        """Return the page, loading it via ``loader`` on a miss."""
-        if page_id in self._pages:
-            self._pages.move_to_end(page_id)
-            self.stats.buffer_hits += 1
-            return self._pages[page_id]
+        """Return the page, loading it via ``loader`` on a miss.
+
+        Two threads missing on the same page concurrently both call the
+        loader and both count a disk access -- the same double fault a
+        real unsynchronised disk cache would take.
+        """
+        with self._lock:
+            data = self._pages.get(page_id)
+            if data is not None:
+                self._touch(page_id)
+                self.stats.buffer_hits += 1
+                return data
         data = loader(page_id)
-        self.stats.disk_reads += 1
-        self._admit(page_id, data)
+        with self._lock:
+            self.stats.disk_reads += 1
+            self._admit(page_id, data)
         return data
 
     def put(self, page_id: int, data: bytes) -> None:
         """Install a freshly written page image (write-through cache)."""
-        if page_id in self._pages:
-            self._pages.move_to_end(page_id)
-            self._pages[page_id] = data
-        else:
-            self._admit(page_id, data)
+        with self._lock:
+            if page_id in self._pages:
+                self._pages.move_to_end(page_id)
+                self._pages[page_id] = data
+            else:
+                self._admit(page_id, data)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page (called when its page is freed)."""
-        self._pages.pop(page_id, None)
+        with self._lock:
+            self._pages.pop(page_id, None)
 
     def clear(self) -> None:
         """Empty the buffer (used between experiment runs)."""
-        self._pages.clear()
+        with self._lock:
+            self._pages.clear()
 
     def resize(self, capacity: int) -> None:
-        """Change capacity, evicting LRU pages if shrinking."""
+        """Change capacity, evicting by the replacement policy if
+        shrinking (strict LRU order for this base class)."""
         if capacity < 0:
             raise ValueError("buffer capacity must be >= 0")
-        self.capacity = capacity
-        while len(self._pages) > capacity:
-            # invalidate() so policy subclasses drop their bookkeeping
-            self.invalidate(next(iter(self._pages)))
+        with self._lock:
+            self.capacity = capacity
+            while len(self._pages) > capacity:
+                self._evict_one()
+
+    # -- policy hooks (all called with the lock held) ---------------------
+
+    def _touch(self, page_id: int) -> None:
+        """Recency update on a buffer hit."""
+        self._pages.move_to_end(page_id)
+
+    def _register(self, page_id: int) -> None:
+        """Bookkeeping for a newly admitted page."""
+
+    def _evict_one(self) -> None:
+        """Evict one victim page (least recently used)."""
+        self._pages.popitem(last=False)
 
     def _admit(self, page_id: int, data: bytes) -> None:
         if self.capacity == 0:
             return
         while len(self._pages) >= self.capacity:
-            self._pages.popitem(last=False)
+            self._evict_one()
         self._pages[page_id] = data
+        self._register(page_id)
 
     def __len__(self) -> int:
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def __contains__(self, page_id: int) -> bool:
-        return page_id in self._pages
+        with self._lock:
+            return page_id in self._pages

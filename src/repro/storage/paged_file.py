@@ -8,6 +8,7 @@ through :meth:`write_page`.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.storage.buffer import LRUBuffer
@@ -16,7 +17,14 @@ from repro.storage.store import MemoryPageStore, PageStore
 
 
 class PagedFile:
-    """Buffered, instrumented access to a :class:`PageStore`."""
+    """Buffered, instrumented access to a :class:`PageStore`.
+
+    ``read_latency`` (seconds) is slept on every buffer miss, modelling
+    the device seek the paper's disk-access metric stands for.  The
+    sleep happens outside the buffer lock and releases the GIL, so
+    concurrent queries (see :mod:`repro.service`) overlap their
+    simulated I/O waits exactly as threads overlap real disk waits.
+    """
 
     def __init__(
         self,
@@ -24,10 +32,12 @@ class PagedFile:
         buffer_capacity: int = 0,
         page_size: int = 1024,
         buffer_policy: str = "lru",
+        read_latency: float = 0.0,
     ):
         self.store: PageStore = (
             store if store is not None else MemoryPageStore(page_size)
         )
+        self.read_latency = read_latency
         self.stats = IOStats()
         if buffer_policy == "lru":
             self.buffer = LRUBuffer(buffer_capacity, self.stats)
@@ -48,7 +58,12 @@ class PagedFile:
 
     def read_page(self, page_id: int) -> bytes:
         """Fetch a page, counting a disk access on buffer miss."""
-        return self.buffer.read(page_id, self.store.read)
+        return self.buffer.read(page_id, self._load)
+
+    def _load(self, page_id: int) -> bytes:
+        if self.read_latency > 0.0:
+            time.sleep(self.read_latency)
+        return self.store.read(page_id)
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write a page through the buffer, counting one disk write."""

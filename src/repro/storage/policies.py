@@ -6,12 +6,18 @@ on CPQ cost: FIFO (no recency update on hit), LFU (evict the least
 frequently used) and CLOCK (the classic second-chance approximation of
 LRU).  All share :class:`~repro.storage.buffer.LRUBuffer`'s interface,
 so a :class:`~repro.storage.paged_file.PagedFile` can swap them in.
+
+Policies customise the base class through its three hooks (``_touch``
+on hit, ``_register`` on admission, ``_evict_one`` for victim choice),
+which the base class always calls with its lock held -- so every
+policy inherits thread safety, and :meth:`LRUBuffer.resize` shrinks
+with the same victim order the policy uses for normal admission.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.storage.buffer import LRUBuffer
 from repro.storage.stats import IOStats
@@ -20,14 +26,8 @@ from repro.storage.stats import IOStats
 class FIFOBuffer(LRUBuffer):
     """First-in-first-out: hits do not refresh a page's position."""
 
-    def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
-        if page_id in self._pages:
-            self.stats.buffer_hits += 1
-            return self._pages[page_id]
-        data = loader(page_id)
-        self.stats.disk_reads += 1
-        self._admit(page_id, data)
-        return data
+    def _touch(self, page_id: int) -> None:
+        pass
 
 
 class LFUBuffer(LRUBuffer):
@@ -41,38 +41,31 @@ class LFUBuffer(LRUBuffer):
         super().__init__(capacity, stats)
         self._frequency: Dict[int, int] = {}
 
-    def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
-        if page_id in self._pages:
-            self._pages.move_to_end(page_id)
-            self._frequency[page_id] += 1
-            self.stats.buffer_hits += 1
-            return self._pages[page_id]
-        data = loader(page_id)
-        self.stats.disk_reads += 1
-        self._admit(page_id, data)
-        return data
+    def _touch(self, page_id: int) -> None:
+        self._pages.move_to_end(page_id)
+        self._frequency[page_id] += 1
 
-    def _admit(self, page_id: int, data: bytes) -> None:
-        if self.capacity == 0:
-            return
-        while len(self._pages) >= self.capacity:
-            victim = min(
-                self._pages,
-                key=lambda pid: (self._frequency[pid],
-                                 list(self._pages).index(pid)),
-            )
-            del self._pages[victim]
-            del self._frequency[victim]
-        self._pages[page_id] = data
+    def _register(self, page_id: int) -> None:
         self._frequency[page_id] = 1
 
+    def _evict_one(self) -> None:
+        victim = min(
+            self._pages,
+            key=lambda pid: (self._frequency[pid],
+                             list(self._pages).index(pid)),
+        )
+        del self._pages[victim]
+        del self._frequency[victim]
+
     def invalidate(self, page_id: int) -> None:
-        super().invalidate(page_id)
-        self._frequency.pop(page_id, None)
+        with self._lock:
+            super().invalidate(page_id)
+            self._frequency.pop(page_id, None)
 
     def clear(self) -> None:
-        super().clear()
-        self._frequency.clear()
+        with self._lock:
+            super().clear()
+            self._frequency.clear()
 
 
 class ClockBuffer(LRUBuffer):
@@ -86,20 +79,14 @@ class ClockBuffer(LRUBuffer):
         super().__init__(capacity, stats)
         self._referenced: "OrderedDict[int, bool]" = OrderedDict()
 
-    def read(self, page_id: int, loader: Callable[[int], bytes]) -> bytes:
-        if page_id in self._pages:
-            self._referenced[page_id] = True
-            self.stats.buffer_hits += 1
-            return self._pages[page_id]
-        data = loader(page_id)
-        self.stats.disk_reads += 1
-        self._admit(page_id, data)
-        return data
+    def _touch(self, page_id: int) -> None:
+        self._referenced[page_id] = True
 
-    def _admit(self, page_id: int, data: bytes) -> None:
-        if self.capacity == 0:
-            return
-        while len(self._pages) >= self.capacity:
+    def _register(self, page_id: int) -> None:
+        self._referenced[page_id] = False
+
+    def _evict_one(self) -> None:
+        while True:
             victim, referenced = next(iter(self._referenced.items()))
             if referenced:
                 # second chance: clear the bit, move to the back
@@ -109,16 +96,17 @@ class ClockBuffer(LRUBuffer):
             else:
                 del self._pages[victim]
                 del self._referenced[victim]
-        self._pages[page_id] = data
-        self._referenced[page_id] = False
+                return
 
     def invalidate(self, page_id: int) -> None:
-        super().invalidate(page_id)
-        self._referenced.pop(page_id, None)
+        with self._lock:
+            super().invalidate(page_id)
+            self._referenced.pop(page_id, None)
 
     def clear(self) -> None:
-        super().clear()
-        self._referenced.clear()
+        with self._lock:
+            super().clear()
+            self._referenced.clear()
 
 
 #: Registry used by the ablation benchmark and the paged-file factory.

@@ -1,0 +1,187 @@
+"""Thread-safety and resize semantics of the buffer pool."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.paged_file import PagedFile
+from repro.storage.policies import ClockBuffer, FIFOBuffer, LFUBuffer
+from repro.storage.stats import IOStats
+
+
+def loader_for(pages):
+    def loader(page_id: int) -> bytes:
+        return pages[page_id]
+    return loader
+
+
+class TestResize:
+    def test_shrink_evicts_in_strict_lru_order(self):
+        buffer = LRUBuffer(capacity=5)
+        pages = {i: bytes([i]) * 4 for i in range(5)}
+        load = loader_for(pages)
+        for i in range(5):
+            buffer.read(i, load)
+        # Recency now 0 < 1 < 2 < 3 < 4; touch 0 and 1 to promote them.
+        buffer.read(0, load)
+        buffer.read(1, load)
+        buffer.resize(2)
+        assert len(buffer) == 2
+        assert 0 in buffer and 1 in buffer  # the two most recent
+        for evicted in (2, 3, 4):
+            assert evicted not in buffer
+
+    def test_shrink_keeps_io_stats_consistent(self):
+        stats = IOStats()
+        buffer = LRUBuffer(capacity=4, stats=stats)
+        pages = {i: bytes([i]) * 4 for i in range(4)}
+        load = loader_for(pages)
+        for i in range(4):
+            buffer.read(i, load)
+        before = stats.snapshot()
+        buffer.resize(1)  # eviction is not an I/O event
+        assert stats.disk_reads == before.disk_reads
+        assert stats.buffer_hits == before.buffer_hits
+        # Re-reading an evicted page is a true disk read again.
+        buffer.read(0, load)
+        assert stats.disk_reads == before.disk_reads + 1
+
+    def test_lfu_resize_evicts_least_frequent(self):
+        buffer = LFUBuffer(capacity=3)
+        pages = {i: bytes([i]) * 4 for i in range(3)}
+        load = loader_for(pages)
+        for i in range(3):
+            buffer.read(i, load)
+        for __ in range(5):
+            buffer.read(0, load)
+        for __ in range(3):
+            buffer.read(2, load)
+        buffer.resize(1)  # page 1 (freq 1) then page 2 (freq 4) go
+        assert 0 in buffer
+        assert len(buffer) == 1
+        # Internal frequency bookkeeping followed the evictions.
+        assert set(buffer._frequency) == {0}
+
+    def test_clock_resize_uses_second_chance(self):
+        buffer = ClockBuffer(capacity=3)
+        pages = {i: bytes([i]) * 4 for i in range(3)}
+        load = loader_for(pages)
+        for i in range(3):
+            buffer.read(i, load)
+        buffer.read(0, load)  # reference page 0
+        buffer.resize(2)  # hand passes 0 (referenced), evicts 1
+        assert 0 in buffer
+        assert 1 not in buffer
+        assert 2 in buffer
+        assert set(buffer._referenced) == {0, 2}
+
+    def test_grow_is_a_noop_for_contents(self):
+        buffer = LRUBuffer(capacity=2)
+        pages = {i: bytes([i]) * 4 for i in range(2)}
+        load = loader_for(pages)
+        buffer.read(0, load)
+        buffer.read(1, load)
+        buffer.resize(10)
+        assert len(buffer) == 2
+
+    def test_negative_capacity_rejected(self):
+        buffer = LRUBuffer(capacity=2)
+        with pytest.raises(ValueError):
+            buffer.resize(-1)
+
+
+@pytest.mark.parametrize(
+    "buffer_cls", [LRUBuffer, FIFOBuffer, LFUBuffer, ClockBuffer]
+)
+def test_concurrent_reads_stay_consistent(buffer_cls):
+    """8 threads hammer read/put/invalidate/resize; the buffer never
+    corrupts, never over-fills, and accounts every logical read."""
+    page_count = 64
+    pages = {i: i.to_bytes(4, "big") for i in range(page_count)}
+    load = loader_for(pages)
+    stats = IOStats()
+    buffer = buffer_cls(capacity=16, stats=stats)
+    reads_per_thread = 400
+    thread_count = 8
+    errors = []
+
+    def hammer(seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            for step in range(reads_per_thread):
+                page_id = rng.randrange(page_count)
+                data = buffer.read(page_id, load)
+                if data != pages[page_id]:
+                    raise AssertionError(
+                        f"page {page_id} returned wrong bytes"
+                    )
+                if step % 97 == 0:
+                    buffer.invalidate(rng.randrange(page_count))
+                if step % 131 == 0:
+                    buffer.resize(rng.choice((8, 12, 16)))
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(seed,))
+        for seed in range(thread_count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert len(buffer) <= buffer.capacity
+    # Every logical read was classified exactly once.
+    total = thread_count * reads_per_thread
+    assert stats.buffer_hits + stats.disk_reads == total
+
+
+def test_paged_file_read_latency_sleeps_only_on_miss():
+    import time
+
+    file = PagedFile(buffer_capacity=4, read_latency=0.02)
+    page_id = file.allocate()
+    file.write_page(page_id, b"\x00" * file.page_size)
+    file.buffer.clear()
+    file.stats.reset()
+    start = time.perf_counter()
+    file.read_page(page_id)  # miss: pays the simulated seek
+    miss_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    file.read_page(page_id)  # hit: free
+    hit_elapsed = time.perf_counter() - start
+    assert miss_elapsed >= 0.02
+    assert hit_elapsed < 0.02
+    assert file.stats.disk_reads == 1
+    assert file.stats.buffer_hits == 1
+
+
+def test_concurrent_misses_overlap_their_latency():
+    """Simulated seeks release the GIL: 4 threads missing at once take
+    far less than 4 serial seeks."""
+    import time
+
+    file = PagedFile(buffer_capacity=0, read_latency=0.05)
+    page_ids = []
+    for __ in range(4):
+        page_id = file.allocate()
+        file.write_page(page_id, b"\x00" * file.page_size)
+        page_ids.append(page_id)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=file.read_page, args=(page_id,))
+        for page_id in page_ids
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 4 * 0.05  # overlapped, not serialised

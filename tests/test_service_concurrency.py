@@ -1,0 +1,196 @@
+"""Concurrency stress tests for the query service.
+
+Fires a mixed K-CPQ / K-NN / range workload at the service from 8
+client threads and checks every response against single-threaded
+ground truth, then verifies that tree mutations invalidate the result
+cache (no entry of a mutated pair survives)."""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+
+import pytest
+
+from repro.core import k_closest_pairs
+from repro.query import nearest_neighbors
+from repro.rtree.bulk import bulk_load
+from repro.service import (
+    CPQRequest,
+    KNNRequest,
+    QueryService,
+    RangeRequest,
+    STATUS_OK,
+)
+
+CLIENT_THREADS = 8
+QUERIES_PER_THREAD = 30  # 240 total, >= 200 required
+
+
+@pytest.fixture(scope="module")
+def stress_trees():
+    rng = random.Random(0xBEEF)
+    points_p = [(rng.random(), rng.random()) for __ in range(500)]
+    points_q = [(rng.uniform(0.3, 1.3), rng.random())
+                for __ in range(400)]
+    tree_p = bulk_load(points_p)
+    tree_q = bulk_load(points_q)
+    for tree in (tree_p, tree_q):
+        tree.file.set_buffer_capacity(32)
+    return points_p, points_q, tree_p, tree_q
+
+
+def build_workload(points_p, points_q):
+    """A deterministic mixed request list with serial ground truth."""
+    rng = random.Random(0xF00D)
+    specs = []
+    for i in range(CLIENT_THREADS * QUERIES_PER_THREAD):
+        flavor = i % 4
+        if flavor in (0, 1):  # half the workload is K-CPQ
+            k = rng.choice((1, 2, 5, 10))
+            specs.append(("cpq", CPQRequest(pair="pair", k=k)))
+        elif flavor == 2:
+            point = (rng.random(), rng.random())
+            k = rng.choice((1, 3, 7))
+            specs.append(("knn", KNNRequest(pair="pair", point=point,
+                                            k=k)))
+        else:
+            x, y = rng.random() * 0.8, rng.random() * 0.8
+            specs.append(("range", RangeRequest(
+                pair="pair", lo=(x, y), hi=(x + 0.2, y + 0.2),
+                side="q",
+            )))
+    return specs
+
+
+def serial_ground_truth(specs, points_p, points_q, tree_p, tree_q):
+    """Expected answers, computed single-threaded before serving."""
+    expected = []
+    for kind, request in specs:
+        if kind == "cpq":
+            result = k_closest_pairs(tree_p, tree_q, k=request.k,
+                                     algorithm="heap")
+            expected.append(result.distances())
+        elif kind == "knn":
+            found = nearest_neighbors(tree_p, request.point,
+                                      k=request.k)
+            expected.append([d for d, __ in found])
+        else:
+            (x0, y0), (x1, y1) = request.lo, request.hi
+            inside = sorted(
+                p for p in points_q
+                if x0 <= p[0] <= x1 and y0 <= p[1] <= y1
+            )
+            expected.append(inside)
+    return expected
+
+
+def test_stress_mixed_workload_matches_serial(stress_trees):
+    points_p, points_q, tree_p, tree_q = stress_trees
+    specs = build_workload(points_p, points_q)
+    expected = serial_ground_truth(specs, points_p, points_q,
+                                   tree_p, tree_q)
+
+    service = QueryService(workers=8, queue_size=512, cache_size=64)
+    service.register_pair("pair", tree_p, tree_q)
+    responses = [None] * len(specs)
+    errors = []
+
+    def client(thread_index: int) -> None:
+        try:
+            for offset in range(QUERIES_PER_THREAD):
+                index = thread_index * QUERIES_PER_THREAD + offset
+                responses[index] = service.execute(specs[index][1],
+                                                   timeout=120)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(CLIENT_THREADS)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        service.close()
+
+    assert not errors
+    for (kind, __), response, truth in zip(specs, responses, expected):
+        assert response is not None
+        assert response.status == STATUS_OK
+        if kind == "cpq":
+            assert response.result.distances() == pytest.approx(truth)
+        elif kind == "knn":
+            got = [d for d, __ in response.result]
+            assert got == pytest.approx(truth)
+        else:
+            got = sorted(e.point for e in response.result)
+            assert got == truth
+
+    snapshot = service.snapshot()
+    by_status = snapshot["queries"]["by_status"]
+    assert by_status.get(STATUS_OK, 0) == len(specs)
+    # The workload repeats K-CPQ requests, so the cache must have
+    # absorbed a good share of them.
+    assert snapshot["cache"]["hits"] > 0
+    assert snapshot["planner"]  # planner ran and was tallied
+
+
+def test_mutation_invalidates_cache_entries():
+    rng = random.Random(0xCAFE)
+    tree_p = bulk_load([(rng.random(), rng.random())
+                        for __ in range(200)])
+    points_q = [(rng.random(), rng.random()) for __ in range(200)]
+    tree_q = bulk_load(points_q)
+
+    with QueryService(workers=2, cache_size=32) as service:
+        service.register_pair("pair", tree_p, tree_q)
+        # Populate the cache with several entries of this pair.
+        for k in (1, 2, 3):
+            assert service.execute(
+                CPQRequest(pair="pair", k=k)
+            ).status == STATUS_OK
+        assert service.execute(CPQRequest(pair="pair", k=1)).cached
+        assert len(service.cache) == 3
+        old_generation = tree_p.generation
+
+        # Mutate: a new P point a hair away from some Q point becomes
+        # the closest pair.
+        target = points_q[0]
+        tree_p.insert((target[0] + 1e-9, target[1]), oid=99_999)
+        assert tree_p.generation == old_generation + 1
+
+        response = service.execute(CPQRequest(pair="pair", k=1))
+        assert not response.cached
+        assert response.result.pairs[0].p_oid == 99_999
+        assert response.result.pairs[0].distance < 1e-6
+
+        # No entry keyed on the old generation survives.
+        for key in service.cache.keys():
+            assert key[1] == tree_p.generation
+        # And the stale k=2 / k=3 entries were eagerly dropped too.
+        assert len(service.cache) == 1
+
+        refreshed = service.execute(CPQRequest(pair="pair", k=1))
+        assert refreshed.cached
+
+
+def test_concurrent_submits_while_closing():
+    """close() during traffic never hangs or raises; late submits are
+    rejected with a structured response."""
+    rng = random.Random(3)
+    tree_p = bulk_load([(rng.random(), rng.random())
+                        for __ in range(100)])
+    tree_q = bulk_load([(rng.random(), rng.random())
+                        for __ in range(100)])
+    service = QueryService(workers=2, queue_size=16)
+    service.register_pair("pair", tree_p, tree_q)
+    for __ in range(4):
+        service.submit(CPQRequest(pair="pair", k=1))
+    service.close()
+    late = service.execute(CPQRequest(pair="pair", k=1))
+    assert late.status == "rejected"
