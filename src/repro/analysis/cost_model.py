@@ -98,6 +98,23 @@ def interval_proximity_probability(
     gap between them along the axis is at most ``reach``, i.e. when
     ``|centre_A - centre_B| <= (length_a + length_b) / 2 + reach``.
     Exact under the uniform-centre assumption.
+
+    Parameters
+    ----------
+    center_range_a, center_range_b:
+        ``(lo, hi)`` bounds of each interval centre's uniform
+        distribution, in workspace units.
+    length_a, length_b:
+        Fixed interval lengths (average node extents along the axis),
+        workspace units, ``>= 0``.
+    reach:
+        Maximum allowed gap between the intervals (the pruning bound
+        ``T`` projected on this axis), workspace units, ``>= 0``.
+
+    Returns
+    -------
+    float
+        A probability in ``[0, 1]``.
     """
     if reach < 0:
         raise ValueError("reach must be >= 0")
@@ -210,6 +227,23 @@ def estimate_closest_pair_distance(
     region of area ``A``: the minimum of ``n`` approximately-uniform
     pair distances has E[d*] ~ sqrt(A / (pi * n)).  For disjoint
     workspaces the answer is dominated by the workspace gap.
+
+    This is the model's guess at the bound ``T`` a well-pruned
+    algorithm converges to (the quantity the paper's Inequality 2
+    tightens during the descent, Section 3.2).
+
+    Parameters
+    ----------
+    shape_p, shape_q:
+        The two tree shapes; only their workspaces and point counts
+        are used here.
+
+    Returns
+    -------
+    float
+        Euclidean distance in workspace units.  Uniformity makes this
+        an underestimate on clustered data (see the worked example in
+        ``docs/OBSERVABILITY.md``).
     """
     wp = shape_p.workspace
     wq = shape_q.workspace
@@ -238,10 +272,30 @@ def estimate_cpq_accesses(
 ) -> float:
     """Predicted disk accesses of a well-pruned 1-CP query.
 
-    ``t`` is the pruning bound reached by the algorithm; by default the
-    estimated closest pair distance (the bound STD/HEAP converge to).
-    Each qualifying node pair costs two accesses (one per side); the
-    two roots are always read.
+    A best-case algorithm (STD/HEAP, Section 3 of the paper) must
+    visit every node pair whose MINMINDIST does not exceed the final
+    pruning bound; this sums, level by level, the expected number of
+    such pairs times two reads per pair.
+
+    Parameters
+    ----------
+    shape_p, shape_q:
+        Tree shapes from :meth:`TreeShape.from_tree` (measured) or
+        :meth:`TreeShape.uniform` (analytic).
+    t:
+        The pruning bound the algorithm converges to, in workspace
+        units; defaults to :func:`estimate_closest_pair_distance`.
+        Pass ``E[d_1] * sqrt(k)`` to approximate a K-CPQ (the scaling
+        the service planner uses).
+
+    Returns
+    -------
+    float
+        Expected node fetches (the paper's disk-access unit, i.e.
+        buffer misses with a cold buffer).  Each qualifying node pair
+        costs two accesses (one per side); the two roots are always
+        read.  Compare against measurements with
+        ``benchmarks/test_cost_model.py``.
     """
     if t is None:
         t = estimate_closest_pair_distance(shape_p, shape_q)

@@ -7,15 +7,18 @@ The subcommands cover the library's workflow end to end::
     repro-cpq build sites.npy --tree sites.pages
     repro-cpq info --tree sites.pages
     repro-cpq query sites.npy q.npy --k 10 --algorithm heap
+    repro-cpq explain sites.npy q.npy --k 10 --buffer 64
     repro-cpq batch sites.npy q.npy requests.jsonl --workers 8
     repro-cpq serve sites.npy q.npy --deadline-ms 50 < requests.jsonl
     repro-cpq figure fig04 --quick
 
 ``query`` accepts either raw point files (trees are built in memory)
-or page files produced by ``build``.  ``batch`` and ``serve`` run
-JSONL request streams through the concurrent query service
-(:mod:`repro.service`); both emit one JSON response per request plus a
-serve-stats metrics snapshot.  Also runnable as ``python -m repro
+or page files produced by ``build``.  ``explain`` runs the same query
+traced (:mod:`repro.obs`) and prints the span tree.  ``batch`` and
+``serve`` run JSONL request streams through the concurrent query
+service (:mod:`repro.service`); both emit one JSON response per
+request plus a serve-stats metrics snapshot, and ``--trace out.jsonl``
+records every request's spans.  Also runnable as ``python -m repro
 ...``.
 """
 
@@ -113,6 +116,60 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"accesses, {result.stats.node_pairs_visited} node pairs, "
         f"{result.stats.distance_computations} distance computations"
     )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run one K-CPQ fully traced and print the span tree.
+
+    The profiling counterpart of ``query``: same query surface, but
+    the output is an ``EXPLAIN ANALYZE``-style tree showing where the
+    query spent its time and pages (planner decision, traversal,
+    heap ops, per-tree I/O).  ``--algorithm auto`` additionally runs
+    the cost-model planner and shows its evidence.
+    """
+    from repro.analysis.cost_model import TreeShape
+    from repro.obs import Tracer, render_trace, write_trace_jsonl
+    from repro.service.planner import Planner
+
+    tree_p = _load_tree(args.left)
+    tree_q = _load_tree(args.right)
+    tracer = Tracer()
+    with tracer.span("request", kind="cpq", k=args.k) as root:
+        algorithm = args.algorithm
+        if algorithm == "auto":
+            def shape(tree):
+                if tree.root_id is None or tree.dimension != 2:
+                    return None
+                return TreeShape.from_tree(tree)
+
+            decision = Planner().plan(
+                shape(tree_p), shape(tree_q), args.buffer, k=args.k,
+                tracer=tracer,
+            )
+            algorithm = decision.algorithm
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            k=args.k,
+            algorithm=algorithm,
+            buffer_pages=args.buffer,
+            tracer=tracer,
+        )
+        root.annotate(algorithm=result.algorithm, pairs=len(result.pairs))
+    trace = tracer.pop_traces()[-1]
+    for rank, pair in enumerate(result.pairs, start=1):
+        print(f"{rank:4d}  {pair.p}  {pair.q}  {pair.distance:.9f}")
+    print()
+    print(render_trace(trace, show_durations=not args.no_times))
+    print(
+        f"# {result.algorithm}: {result.stats.disk_accesses} disk "
+        f"accesses, {result.stats.buffer_hits} buffer hits, "
+        f"{result.stats.node_pairs_visited} node pairs"
+    )
+    if args.trace:
+        lines = write_trace_jsonl(args.trace, [trace])
+        print(f"# wrote {lines} spans to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -230,6 +287,7 @@ def _response_json(response) -> dict:
 
 def _make_service(args: argparse.Namespace):
     """Build a QueryService over the two trees named by the args."""
+    from repro.obs import Tracer
     from repro.service import QueryService
 
     tree_p = _load_tree(args.left)
@@ -242,9 +300,20 @@ def _make_service(args: argparse.Namespace):
         queue_size=args.queue_size,
         cache_size=args.cache_size,
         default_deadline_ms=args.deadline_ms,
+        tracer=Tracer() if args.trace else None,
     )
     service.register_pair(args.pair, tree_p, tree_q)
     return service
+
+
+def _emit_trace(service, args: argparse.Namespace) -> None:
+    """Write the service tracer's collected spans as JSONL."""
+    if not args.trace:
+        return
+    from repro.obs import write_trace_jsonl
+
+    lines = write_trace_jsonl(args.trace, service.tracer.pop_traces())
+    print(f"# wrote {lines} spans to {args.trace}", file=sys.stderr)
 
 
 def _emit_serve_stats(service, args: argparse.Namespace) -> None:
@@ -287,6 +356,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"# batch: {len(responses)} requests ({summary}) on "
               f"{args.workers} workers", file=sys.stderr)
         _emit_serve_stats(service, args)
+        _emit_trace(service, args)
     finally:
         service.close()
     return 0
@@ -308,6 +378,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             response = service.execute(request)
             print(json.dumps(_response_json(response)), flush=True)
         _emit_serve_stats(service, args)
+        _emit_trace(service, args)
     finally:
         service.close()
     return 0
@@ -377,6 +448,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total LRU buffer pages (B/2 per tree)")
     query.set_defaults(func=cmd_query)
 
+    explain = sub.add_parser(
+        "explain",
+        help="run a K-CPQ traced and print the EXPLAIN-style span tree",
+    )
+    explain.add_argument("left", help="points file or .pages tree")
+    explain.add_argument("right", help="points file or .pages tree")
+    explain.add_argument("--k", type=int, default=1)
+    explain.add_argument("--algorithm",
+                         choices=("auto",) + tuple(ALGORITHMS),
+                         default="auto",
+                         help="'auto' also traces the planner decision")
+    explain.add_argument("--buffer", type=int, default=0,
+                         help="total LRU buffer pages (B/2 per tree)")
+    explain.add_argument("--trace", default=None,
+                         help="also write the spans as JSONL here")
+    explain.add_argument("--no-times", action="store_true",
+                         help="omit durations (deterministic output)")
+    explain.set_defaults(func=cmd_explain)
+
     knn = sub.add_parser("knn", help="k nearest neighbours of a point")
     knn.add_argument("tree", help="points file or .pages tree")
     knn.add_argument("--x", type=float, required=True)
@@ -420,6 +510,9 @@ def build_parser() -> argparse.ArgumentParser:
         parser_.add_argument("--stats-json", default=None,
                              help="also write the serve-stats snapshot "
                                   "to this file")
+        parser_.add_argument("--trace", default=None,
+                             help="trace every request and write the "
+                                  "spans as JSONL to this file")
 
     batch = sub.add_parser(
         "batch",

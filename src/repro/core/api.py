@@ -49,13 +49,15 @@ def k_closest_pairs(
     reset_stats: bool = True,
     maxmax_pruning: bool = True,
     cancel_check: Optional[Callable[[], None]] = None,
+    tracer=None,
 ) -> CPQResult:
     """Find the K closest pairs between the points of two R-trees.
 
     Parameters
     ----------
     tree_p, tree_q:
-        The two indexed point sets.
+        The two indexed point sets (coordinates in workspace units;
+        distances in the result are in the same units).
     k:
         Number of pairs to report (``1`` gives the 1-CPQ special case
         with its stronger MINMAXDIST pruning).
@@ -83,11 +85,21 @@ def k_closest_pairs(
         Cooperative-cancellation probe, called once per visited node
         pair; whatever it raises (a deadline, a shutdown signal)
         propagates out of the traversal.  Used by the query service.
+    tracer:
+        A :class:`repro.obs.Tracer` to record this query as a span
+        tree (``traverse`` with ``io.p``/``io.q`` I/O-delta leaves and,
+        for HEAP, a ``heap`` queue span); ``None`` (the default)
+        installs the no-op tracer and leaves the hot path untouched.
+        See ``docs/OBSERVABILITY.md``.
 
     Returns
     -------
     CPQResult
-        Pairs sorted by ascending distance plus cost statistics.
+        Pairs sorted by ascending distance plus cost statistics:
+        ``stats.disk_accesses`` (the paper's Figures 4-10 metric, in
+        node reads that missed the buffer), ``buffer_hits``,
+        ``distance_computations``, ``node_pairs_visited``,
+        ``max_queue_size`` and ``queue_inserts`` (Section 3.9).
     """
     algorithm = algorithm.lower()
     if algorithm not in ALGORITHMS:
@@ -106,7 +118,9 @@ def k_closest_pairs(
         tree_p.file.reset_for_query()
         tree_q.file.reset_for_query()
 
-    ctx = CPQContext(tree_p, tree_q, k, metric, cancel_check=cancel_check)
+    ctx = CPQContext(
+        tree_p, tree_q, k, metric, cancel_check=cancel_check, tracer=tracer
+    )
     if algorithm == "naive":
         return naive(ctx, height_strategy)
     if algorithm == "exh":
@@ -125,6 +139,24 @@ def closest_pair(
     **kwargs,
 ) -> Optional[ClosestPair]:
     """The single closest pair (1-CPQ), or ``None`` if either set is
-    empty."""
+    empty.
+
+    Parameters
+    ----------
+    tree_p, tree_q:
+        The two indexed point sets.
+    algorithm:
+        As for :func:`k_closest_pairs`; the 1-CPQ case uses the
+        stronger MINMAXDIST bound of Inequality 2 (Section 2.3).
+    **kwargs:
+        Forwarded to :func:`k_closest_pairs` (metric, buffer_pages,
+        tracer, ...).
+
+    Returns
+    -------
+    Optional[ClosestPair]
+        The minimum-distance pair (distance in workspace units), or
+        ``None`` when ``|P| * |Q| == 0``.
+    """
     result = k_closest_pairs(tree_p, tree_q, k=1, algorithm=algorithm, **kwargs)
     return result.pairs[0] if result.pairs else None

@@ -22,6 +22,7 @@ driver parameterised by :class:`CPQOptions`.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -45,6 +46,7 @@ from repro.geometry.vectorized import (
     pairwise_minmaxdist,
     pairwise_point_distances,
 )
+from repro.obs.trace import NULL_TRACER, Span
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 from repro.storage.stats import QueryStats
@@ -84,6 +86,7 @@ class CPQContext:
         k: int,
         metric: MinkowskiMetric = EUCLIDEAN,
         cancel_check: Optional[Callable[[], None]] = None,
+        tracer=None,
     ):
         if tree_p.dimension != tree_q.dimension:
             raise ValueError("trees index points of different dimensions")
@@ -95,6 +98,19 @@ class CPQContext:
         #: raising from it (e.g. a service deadline) aborts the
         #: traversal, leaving trees and buffers consistent.
         self.cancel_check = cancel_check
+        #: Observability hook (:mod:`repro.obs`); the no-op tracer by
+        #: default, so hot paths pay one ``enabled`` test at most.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: The open ``traverse`` span while one exists (see
+        #: :func:`traced_traversal`); counters go through
+        #: :meth:`trace_add`.
+        self.trace_span: Optional[Span] = None
+        if self.tracer.enabled:
+            # Baselines for the per-tree I/O delta spans, captured
+            # *before* the root reads below so they are attributed too.
+            self._trace_io_base = (
+                tree_p.stats.snapshot(), tree_q.stats.snapshot()
+            )
         self.kheap = KHeap(k)
         #: Extra upper bound on the K-th best distance, tightened from
         #: MINMAXDIST / MAXMAXDIST (independent of the K-heap content).
@@ -117,6 +133,15 @@ class CPQContext:
         """Run the caller-supplied cancellation probe, if any."""
         if self.cancel_check is not None:
             self.cancel_check()
+
+    def trace_add(self, key: str, amount: float = 1) -> None:
+        """Accumulate a counter on the open traversal span, if any.
+
+        Callers guard with ``ctx.tracer.enabled`` so the untraced path
+        never reaches this method.
+        """
+        if self.trace_span is not None:
+            self.trace_span.add(key, amount)
 
     def update_bound(self, value: float) -> None:
         if value < self.bound:
@@ -141,6 +166,72 @@ class CPQContext:
             algorithm=algorithm,
             k=self.k,
         )
+
+
+# ---------------------------------------------------------------------------
+# Traversal tracing (repro.obs)
+# ---------------------------------------------------------------------------
+
+def _finish_io_span(tracer, label: str, base, after, collector) -> None:
+    """Attach one ``io.<label>`` leaf carrying the tree's I/O delta.
+
+    ``disk_reads`` / ``buffer_hits`` are delta-snapshots of the tree's
+    :class:`~repro.storage.stats.IOStats` across the traversal (exact
+    when the query has the trees to itself); ``observed_*`` and
+    ``distinct_pages`` come from the buffer observer and are exact for
+    this thread even under concurrency.
+    """
+    with tracer.span(label) as child:
+        child.annotate(
+            disk_reads=after.disk_reads - base.disk_reads,
+            buffer_hits=after.buffer_hits - base.buffer_hits,
+            reads=after.reads - base.reads,
+        )
+        if collector is not None and collector.reads:
+            child.annotate(
+                observed_reads=collector.reads,
+                observed_disk_reads=collector.disk_reads,
+                distinct_pages=collector.distinct_pages,
+            )
+    child.duration_ms = 0.0  # accounting leaf, not a timed phase
+
+
+@contextmanager
+def traced_traversal(ctx: CPQContext, algorithm: str, **attrs):
+    """Wrap one algorithm execution in a ``traverse`` span.
+
+    Opens the span (child of whatever span is current on this thread,
+    e.g. a service ``request``), installs the buffer observers and
+    per-thread I/O collectors, and on exit attaches the ``io.p`` /
+    ``io.q`` leaf spans whose ``disk_reads`` sum to the query's
+    :class:`~repro.storage.stats.IOStats` delta, plus the traversal
+    counter rollup.  A no-op (single ``enabled`` test) when ``ctx``
+    carries the null tracer.
+    """
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        yield None
+        return
+    base_p, base_q = ctx._trace_io_base
+    tracer.watch_buffer(ctx.tree_p.file.buffer, "p")
+    tracer.watch_buffer(ctx.tree_q.file.buffer, "q")
+    with tracer.span("traverse", algorithm=algorithm, k=ctx.k,
+                     **attrs) as span:
+        ctx.trace_span = span
+        collectors = {"p": None, "q": None}
+        try:
+            with tracer.collect_io(("p", "q")) as collectors:
+                yield span
+        finally:
+            ctx.trace_span = None
+            span.annotate(
+                node_pairs_visited=ctx.stats.node_pairs_visited,
+                distance_computations=ctx.stats.distance_computations,
+            )
+            _finish_io_span(tracer, "io.p", base_p,
+                            ctx.tree_p.stats.snapshot(), collectors["p"])
+            _finish_io_span(tracer, "io.q", base_q,
+                            ctx.tree_q.stats.snapshot(), collectors["q"])
 
 
 # ---------------------------------------------------------------------------
@@ -331,6 +422,9 @@ def generate_candidates(
         keep = np.nonzero(flat <= ctx.t)[0]
     else:
         keep = np.arange(flat.size)
+    if ctx.tracer.enabled:
+        ctx.trace_add("candidates_generated", int(flat.size))
+        ctx.trace_add("pairs_pruned_minmin", int(flat.size - keep.size))
     return CandidateSet(
         node_p=node_p,
         node_q=node_q,
@@ -357,6 +451,9 @@ def order_candidates(
     if not options.sort:
         return np.arange(len(candidates))
     order = np.argsort(candidates.minmin, kind="stable")
+    if ctx.tracer.enabled:
+        ctx.trace_add("sorts", 1)
+        ctx.trace_add("sorted_candidates", len(order))
     if options.tie_break is None or len(order) < 2:
         return order
     values = candidates.minmin[order]
@@ -367,6 +464,8 @@ def order_candidates(
             continue
         run = order[run_start:i]
         if len(run) > 1:
+            if ctx.tracer.enabled:
+                ctx.trace_add("tie_break_keys", len(run))
             run = sorted(
                 run,
                 key=lambda pos: options.tie_break.key(
@@ -383,12 +482,21 @@ def order_candidates(
 # ---------------------------------------------------------------------------
 
 def run_recursive(
-    ctx: CPQContext, options: CPQOptions, algorithm: str
+    ctx: CPQContext,
+    options: CPQOptions,
+    algorithm: str,
+    span_attrs: Optional[dict] = None,
 ) -> CPQResult:
-    """Execute a recursive CPQ algorithm configured by ``options``."""
+    """Execute a recursive CPQ algorithm configured by ``options``.
+
+    ``span_attrs`` are extra annotations the algorithm module wants on
+    the ``traverse`` span (tie-break chain, height strategy, ...);
+    ignored when ``ctx`` carries the no-op tracer.
+    """
     if ctx.root_p is None or ctx.root_q is None:
         return ctx.result(algorithm)
-    _visit(ctx, ctx.root_p, ctx.root_q, options)
+    with traced_traversal(ctx, algorithm, **(span_attrs or {})):
+        _visit(ctx, ctx.root_p, ctx.root_q, options)
     return ctx.result(algorithm)
 
 
@@ -402,13 +510,17 @@ def _visit(
         return
     candidates = generate_candidates(ctx, node_p, node_q, options)
     order = order_candidates(ctx, candidates, options)
-    for position in order:
+    for i, position in enumerate(order):
         # T may have tightened since generation; re-check before paying
         # the I/O of the descent.
         if options.prune:
             if candidates.minmin[position] > ctx.t:
                 if options.sort:
+                    if ctx.tracer.enabled:
+                        ctx.trace_add("pairs_repruned", len(order) - i)
                     break  # sorted ascending: the rest are no better
+                if ctx.tracer.enabled:
+                    ctx.trace_add("pairs_repruned", 1)
                 continue
         child_p, child_q = candidates.child_nodes(ctx, int(position))
         _visit(ctx, child_p, child_q, options)

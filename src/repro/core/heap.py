@@ -19,6 +19,7 @@ default T1) encoded directly in the heap key.
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
 from repro.core.engine import (
@@ -26,6 +27,7 @@ from repro.core.engine import (
     CPQOptions,
     generate_candidates,
     scan_leaf_pair,
+    traced_traversal,
 )
 from repro.core.height import FIX_AT_ROOT
 from repro.core.result import CPQResult
@@ -93,12 +95,32 @@ def heap_algorithm(
         if len(heap) > ctx.stats.max_queue_size:
             ctx.stats.max_queue_size = len(heap)
 
-    process_pair(root_p, root_q)  # CP1/CP2 on the root pair
-    while heap:  # CP4
-        minmin, __, __, page_p, page_q = heapq.heappop(heap)
-        if minmin > ctx.t:  # CP5: everything left is prunable
-            break
-        node_p = ctx.tree_p.read_node(page_p)
-        node_q = ctx.tree_q.read_node(page_q)
-        process_pair(node_p, node_q)
+    with traced_traversal(ctx, NAME, tie_break=repr(ties),
+                          height_strategy=height_strategy):
+        tracer = ctx.tracer
+        with tracer.span("heap") if tracer.enabled else _noop() as heap_span:
+            process_pair(root_p, root_q)  # CP1/CP2 on the root pair
+            pops = 0
+            while heap:  # CP4
+                minmin, __, __, page_p, page_q = heapq.heappop(heap)
+                pops += 1
+                if minmin > ctx.t:  # CP5: everything left is prunable
+                    break
+                node_p = ctx.tree_p.read_node(page_p)
+                node_q = ctx.tree_q.read_node(page_q)
+                process_pair(node_p, node_q)
+            if tracer.enabled:
+                # High-water mark and final size of the global queue
+                # (Section 3.9's main-memory-residency argument).
+                heap_span.annotate(
+                    inserts=ctx.stats.queue_inserts,
+                    pops=pops,
+                    max_size=ctx.stats.max_queue_size,
+                    leftover=len(heap),
+                )
     return ctx.result(NAME)
+
+
+@contextmanager
+def _noop():
+    yield None

@@ -37,4 +37,10 @@ def simple(
         height_strategy=height_strategy,
         maxmax_k_pruning=maxmax_pruning,
     )
-    return run_recursive(ctx, options, NAME)
+    return run_recursive(
+        ctx, options, NAME,
+        span_attrs={
+            "height_strategy": height_strategy,
+            "maxmax_k_pruning": maxmax_pruning,
+        } if ctx.tracer.enabled else None,
+    )

@@ -40,4 +40,11 @@ def sorted_distances(
         height_strategy=height_strategy,
         maxmax_k_pruning=maxmax_pruning,
     )
-    return run_recursive(ctx, options, NAME)
+    return run_recursive(
+        ctx, options, NAME,
+        span_attrs={
+            "tie_break": repr(options.tie_break),
+            "height_strategy": height_strategy,
+            "maxmax_k_pruning": maxmax_pruning,
+        } if ctx.tracer.enabled else None,
+    )

@@ -1,0 +1,34 @@
+"""repro.obs -- end-to-end query tracing and profiling.
+
+The observability layer of the reproduction: hierarchical spans
+(service request -> planner decision -> core traversal -> heap ops ->
+buffer/page I/O) recording wall time, page-read/hit deltas, node-pair
+counts, MINMINDIST prunes and heap high-water marks.  Exports as JSONL
+(:func:`write_trace_jsonl` / :func:`load_trace_jsonl`) and as the
+``repro-cpq explain`` tree (:func:`render_trace`).
+
+Tracing is opt-in everywhere: call sites default to
+:data:`NULL_TRACER`, whose ``enabled`` flag short-circuits all
+instrumentation, so untraced queries run the pre-instrumentation code
+path.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    load_trace_jsonl,
+    render_trace,
+    span_records,
+    write_trace_jsonl,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "load_trace_jsonl",
+    "render_trace",
+    "span_records",
+    "write_trace_jsonl",
+]

@@ -50,6 +50,7 @@ from typing import (
 from repro.analysis.cost_model import TreeShape
 from repro.core.api import ALGORITHMS, k_closest_pairs
 from repro.geometry.mbr import MBR
+from repro.obs.trace import NULL_TRACER
 from repro.query.knn import nearest_neighbors
 from repro.query.range_query import range_query
 from repro.rtree.tree import RTree
@@ -228,7 +229,20 @@ class QueryService:
     cache_size:
         Result-cache capacity (0 disables caching).
     default_deadline_ms:
-        Deadline applied to requests that do not carry their own.
+        Deadline applied to requests that do not carry their own
+        (milliseconds, measured from admission so queue wait counts).
+    planner:
+        Algorithm-selection policy; a default :class:`Planner` when
+        omitted.
+    metrics:
+        Metrics sink shared across services if desired; a fresh
+        :class:`ServiceMetrics` when omitted.
+    tracer:
+        A :class:`repro.obs.Tracer` to record every executed request
+        as a span tree (``request`` -> ``plan`` -> ``traverse`` ->
+        ``heap`` / ``io.p`` / ``io.q``) and fold per-span rollups into
+        the metrics snapshot.  ``None`` (the default) disables tracing
+        with zero hot-path cost.
     """
 
     def __init__(
@@ -239,6 +253,7 @@ class QueryService:
         default_deadline_ms: Optional[float] = None,
         planner: Optional[Planner] = None,
         metrics: Optional[ServiceMetrics] = None,
+        tracer=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -247,6 +262,7 @@ class QueryService:
         self.default_deadline_ms = default_deadline_ms
         self.planner = planner if planner is not None else Planner()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cache = ResultCache(cache_size)
         self._queue: "queue.Queue[Optional[PendingQuery]]" = queue.Queue(
             maxsize=queue_size
@@ -270,7 +286,14 @@ class QueryService:
     def register_pair(
         self, name: str, tree_p: RTree, tree_q: RTree
     ) -> None:
-        """Make a tree pair addressable by request.pair == ``name``."""
+        """Make a tree pair addressable by ``request.pair == name``.
+
+        ``tree_p`` is the "left" side of K-CPQ results and the
+        ``side="p"`` target of K-NN/range requests; the trees must
+        index points of the same dimension.  Re-registering a name
+        replaces the pair (in-flight queries keep the trees they
+        already resolved).
+        """
         if tree_p.dimension != tree_q.dimension:
             raise ValueError("trees index points of different dimensions")
         with self._pairs_lock:
@@ -321,21 +344,38 @@ class QueryService:
     def execute(
         self, request: Request, timeout: Optional[float] = None
     ) -> QueryResponse:
-        """Submit one request and wait for its response."""
+        """Submit one request and wait for its response.
+
+        ``timeout`` (seconds) bounds the *wait*, not the query -- use
+        ``request.deadline_ms`` to bound execution.  Returns the
+        structured :class:`QueryResponse`; like :meth:`submit`, never
+        raises for load or query failure.
+        """
         return self.submit(request).result(timeout)
 
     def run_batch(
         self, requests: Sequence[Request],
         timeout: Optional[float] = None,
     ) -> List[QueryResponse]:
-        """Submit a batch and collect responses in request order."""
+        """Submit a batch and collect responses in request order.
+
+        All requests are admitted before any response is awaited, so
+        the batch runs at full pool width; ``timeout`` (seconds)
+        applies to each individual wait.
+        """
         handles = [self.submit(request) for request in requests]
         return [handle.result(timeout) for handle in handles]
 
     # -- observability -----------------------------------------------------
 
     def snapshot(self) -> dict:
-        """JSON-serialisable metrics snapshot (the serve-stats view)."""
+        """JSON-serialisable metrics snapshot (the serve-stats view).
+
+        Top-level sections: ``queries``, ``latency_ms``, ``planner``,
+        ``cache``, ``io``, ``queue`` and -- when a tracer is installed
+        -- the per-span-name ``spans`` rollup.  Schemas are documented
+        in ``docs/SERVICE.md`` and ``docs/OBSERVABILITY.md``.
+        """
         self.metrics.set_queue_depth(self._queue.qsize())
         return self.metrics.snapshot(cache_size=len(self.cache))
 
@@ -373,20 +413,39 @@ class QueryService:
 
     def _run(self, pending: PendingQuery) -> None:
         request = pending.request
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._finish(pending, self._guarded_execute(pending))
+            return
+        with tracer.span(
+            "request", kind=request.kind, pair=request.pair
+        ) as span:
+            span.annotate(queue_wait_ms=round(
+                (time.monotonic() - pending.admitted_at) * 1000.0, 3
+            ))
+            response = self._guarded_execute(pending)
+            span.annotate(status=response.status, cached=response.cached)
+            if response.algorithm is not None:
+                span.annotate(algorithm=response.algorithm)
+        self.metrics.record_trace(span)
+        self._finish(pending, response)
+
+    def _guarded_execute(self, pending: PendingQuery) -> QueryResponse:
+        """Execute one admitted request; no exception escapes."""
+        request = pending.request
         try:
             self._check_deadline(pending.deadline)
-            response = self._execute(request, pending.deadline)
+            return self._execute(request, pending.deadline)
         except DeadlineExceeded:
-            response = QueryResponse(
+            return QueryResponse(
                 status=STATUS_DEADLINE, kind=request.kind,
                 error="deadline exceeded",
             )
         except Exception as exc:  # noqa: BLE001 -- pool must survive
-            response = QueryResponse(
+            return QueryResponse(
                 status=STATUS_ERROR, kind=request.kind,
                 error=f"{type(exc).__name__}: {exc}",
             )
-        self._finish(pending, response)
 
     def _finish(
         self, pending: PendingQuery, response: QueryResponse
@@ -490,7 +549,8 @@ class QueryService:
         if request.algorithm == "auto":
             shape_p, shape_q = self._shapes(pair)
             plan = self.planner.plan(
-                shape_p, shape_q, pair.buffer_pages(), k=request.k
+                shape_p, shape_q, pair.buffer_pages(), k=request.k,
+                tracer=self.tracer,
             )
             algorithm = plan.algorithm
             self.metrics.record_planner_decision(algorithm)
@@ -508,6 +568,7 @@ class QueryService:
             algorithm=algorithm,
             reset_stats=False,
             cancel_check=self._deadline_probe(deadline),
+            tracer=self.tracer,
         )
         return result, algorithm, plan
 

@@ -3,10 +3,12 @@
 One :class:`ServiceMetrics` instance aggregates everything the service
 operator needs to watch: admission outcomes, per-query latency (as a
 count/sum/min/max summary plus fixed histogram buckets), planner
-decision tallies, result-cache hit rates, per-query I/O counters and a
-queue-depth gauge.  All methods are thread-safe; :meth:`snapshot`
-returns a plain nested dict that serialises directly to JSON (the
-CLI's ``serve-stats`` output).
+decision tallies, result-cache hit rates, per-query I/O counters, a
+queue-depth gauge and -- when the service is traced -- per-span-name
+time rollups fed by :meth:`ServiceMetrics.record_trace` (see
+``docs/OBSERVABILITY.md``).  All methods are thread-safe;
+:meth:`snapshot` returns a plain nested dict that serialises directly
+to JSON (the CLI's ``serve-stats`` output).
 
 I/O counters are exact for serial workloads; under concurrency a
 query's delta can include reads issued by an overlapping query on the
@@ -46,6 +48,8 @@ class ServiceMetrics:
         self._buffer_hits = 0
         self._queue_depth = 0
         self._queue_depth_max = 0
+        #: Span rollups fed by traced requests: name -> [count, total_ms].
+        self._spans: Dict[str, list] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -93,6 +97,21 @@ class ServiceMetrics:
             self._queue_depth = depth
             self._queue_depth_max = max(self._queue_depth_max, depth)
 
+    def record_trace(self, root_span) -> None:
+        """Fold one finished request trace into the span rollups.
+
+        Walks the :class:`repro.obs.Span` tree and accumulates, per
+        span name, how many spans ran and their total wall time; the
+        snapshot exposes these under ``"spans"`` so operators see
+        where traced queries spend their time (plan vs. traverse vs.
+        heap) without shipping whole traces.
+        """
+        with self._lock:
+            for span in root_span.walk():
+                aggregate = self._spans.setdefault(span.name, [0, 0.0])
+                aggregate[0] += 1
+                aggregate[1] += span.duration_ms
+
     # -- reading -----------------------------------------------------------
 
     @property
@@ -139,6 +158,17 @@ class ServiceMetrics:
                 "queue": {
                     "depth": self._queue_depth,
                     "max_depth": self._queue_depth_max,
+                },
+                "spans": {
+                    name: {
+                        "count": count,
+                        "total_ms": round(total_ms, 3),
+                        "mean_ms": round(total_ms / count, 3) if count
+                                   else 0.0,
+                    }
+                    for name, (count, total_ms) in sorted(
+                        self._spans.items()
+                    )
                 },
             }
         if cache_size is not None:

@@ -34,6 +34,7 @@ from repro.analysis.cost_model import (
     estimate_closest_pair_distance,
     estimate_cpq_accesses,
 )
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -79,12 +80,49 @@ class Planner:
         shape_q: Optional[TreeShape],
         buffer_pages: int,
         k: int = 1,
+        tracer=NULL_TRACER,
     ) -> PlanDecision:
         """Pick an algorithm for one K-CPQ against a shaped tree pair.
 
-        ``shape_p`` / ``shape_q`` are ``None`` when the cost model
-        cannot describe the tree (empty, or not 2-d).
+        Parameters
+        ----------
+        shape_p, shape_q:
+            Cost-model shapes of the two trees
+            (:meth:`~repro.analysis.cost_model.TreeShape.from_tree`);
+            ``None`` when the model cannot describe a tree (empty, or
+            not 2-d), which forces the ``heap`` fallback.
+        buffer_pages:
+            Total LRU pages configured on the queried pair (both
+            halves), compared against the predicted working set.
+        k:
+            Requested result cardinality; scales the predicted reach
+            by ``sqrt(k)`` (uniform pair-population argument).
+        tracer:
+            Optional :class:`repro.obs.Tracer`; when enabled, the
+            decision is recorded as a ``plan`` span carrying the full
+            evidence (:meth:`PlanDecision.as_dict`).
+
+        Returns
+        -------
+        PlanDecision
+            The chosen algorithm plus the estimates it was based on
+            (``estimated_accesses`` in disk accesses,
+            ``estimated_distance`` in workspace units).
         """
+        if not tracer.enabled:
+            return self._decide(shape_p, shape_q, buffer_pages, k)
+        with tracer.span("plan") as span:
+            decision = self._decide(shape_p, shape_q, buffer_pages, k)
+            span.annotate(**decision.as_dict())
+            return decision
+
+    def _decide(
+        self,
+        shape_p: Optional[TreeShape],
+        shape_q: Optional[TreeShape],
+        buffer_pages: int,
+        k: int,
+    ) -> PlanDecision:
         if shape_p is None or shape_q is None:
             return PlanDecision(
                 algorithm="heap",

@@ -35,6 +35,12 @@ class LRUBuffer:
             raise ValueError("buffer capacity must be >= 0")
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStats()
+        #: Optional read observer, called as ``on_read(page_id, hit)``
+        #: after every :meth:`read`, outside the buffer lock.  Installed
+        #: by :meth:`repro.obs.Tracer.watch_buffer` to attribute page
+        #: I/O to the reading thread's trace span; ``None`` (the
+        #: default) costs one predicate test per read.
+        self.on_read: Optional[Callable[[int, bool], None]] = None
         self._pages: "OrderedDict[int, bytes]" = OrderedDict()
         self._lock = threading.RLock()
 
@@ -50,11 +56,15 @@ class LRUBuffer:
             if data is not None:
                 self._touch(page_id)
                 self.stats.buffer_hits += 1
-                return data
-        data = loader(page_id)
-        with self._lock:
-            self.stats.disk_reads += 1
-            self._admit(page_id, data)
+                hit = True
+        if data is None:
+            data = loader(page_id)
+            with self._lock:
+                self.stats.disk_reads += 1
+                self._admit(page_id, data)
+            hit = False
+        if self.on_read is not None:
+            self.on_read(page_id, hit)
         return data
 
     def put(self, page_id: int, data: bytes) -> None:

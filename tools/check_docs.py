@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the README and docs/.
+
+Verifies every relative markdown link -- ``[text](path)``,
+``[text](path#anchor)`` and bare reference-style definitions -- against
+the working tree:
+
+* the linked file must exist (relative to the linking document);
+* a ``#anchor`` into a markdown file must match a heading of that file
+  (GitHub's slugging rules: lowercase, spaces to dashes, punctuation
+  dropped).
+
+External links (``http(s)://``, ``mailto:``) are *not* fetched -- CI
+must not depend on the network -- and absolute paths are rejected as
+unportable.  Exits 1 listing every broken link, 0 when clean.
+
+Usage::
+
+    python tools/check_docs.py [FILE_OR_DIR ...]   # default: README.md docs/
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Inline links, excluding images' leading ``!`` handled the same way.
+_LINK = re.compile(r"\[(?:[^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug transformation."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(targets: List[str]) -> Iterator[str]:
+    for target in targets:
+        if os.path.isdir(target):
+            for root, __, names in os.walk(target):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        elif target.endswith(".md"):
+            yield target
+
+
+def iter_links(path: str) -> Iterator[Tuple[int, str]]:
+    """Yield (line_number, url) for every inline link outside code fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            if _CODE_FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                yield line_no, match.group(1)
+
+
+def heading_slugs(path: str) -> set:
+    slugs = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if _CODE_FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = _HEADING.match(line)
+            if match:
+                slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path: str) -> List[str]:
+    errors = []
+    base = os.path.dirname(path)
+    for line_no, url in iter_links(path):
+        if url.startswith(("http://", "https://", "mailto:")):
+            continue
+        where = f"{path}:{line_no}"
+        if url.startswith("/"):
+            errors.append(f"{where}: absolute link {url!r} is unportable")
+            continue
+        target, _, anchor = url.partition("#")
+        if target:
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                errors.append(f"{where}: broken link {url!r} "
+                              f"({resolved} does not exist)")
+                continue
+        else:
+            resolved = path  # pure in-page anchor
+        if anchor and resolved.endswith(".md"):
+            if anchor not in heading_slugs(resolved):
+                errors.append(f"{where}: anchor #{anchor} not found "
+                              f"in {resolved}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or ["README.md", "docs"]
+    checked = 0
+    errors: List[str] = []
+    for path in markdown_files(targets):
+        checked += 1
+        errors.extend(check_file(path))
+    if errors:
+        print(f"check_docs: {len(errors)} broken link(s) "
+              f"in {checked} file(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"check_docs: {checked} markdown file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compile-check the Python code blocks embedded in the documentation.
+
+Extracts every fenced ``` ```python``` block from the README and
+``docs/`` and runs it through :func:`compile` (syntax only -- snippets
+are not executed, so they may reference variables they do not define,
+but they cannot silently rot into non-Python).  Doctest-style blocks
+(lines starting with ``>>>``) are unwrapped first.
+
+Exits 1 listing every snippet that fails to compile, 0 when clean.
+
+Usage::
+
+    python tools/extract_snippets.py [FILE_OR_DIR ...]  # default: README.md docs/
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+_OPEN_FENCE = re.compile(r"^```(\w+)?\s*$")
+
+
+def markdown_files(targets: List[str]) -> Iterator[str]:
+    for target in targets:
+        if os.path.isdir(target):
+            for root, __, names in os.walk(target):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        elif target.endswith(".md"):
+            yield target
+
+
+def python_snippets(path: str) -> Iterator[Tuple[int, str]]:
+    """Yield (first_line_number, source) per ```python fence in a file."""
+    lines = open(path, encoding="utf-8").read().splitlines()
+    i = 0
+    while i < len(lines):
+        match = _OPEN_FENCE.match(lines[i].strip())
+        if match and match.group(1) == "python":
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and lines[i].strip() != "```":
+                body.append(lines[i])
+                i += 1
+            yield start + 1, "\n".join(body)
+        elif match:
+            # Skip any other fenced block wholesale (including plain
+            # fences that may contain ``` -looking content).
+            i += 1
+            while i < len(lines) and lines[i].strip() != "```":
+                i += 1
+        i += 1
+
+
+def unwrap_doctest(source: str) -> str:
+    """Turn a ``>>>``-style block into plain statements."""
+    if ">>>" not in source:
+        return source
+    kept = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith(">>> "):
+            kept.append(stripped[4:])
+        elif stripped.startswith("... "):
+            kept.append(stripped[4:])
+        # anything else is expected output: drop it
+    return "\n".join(kept)
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or ["README.md", "docs"]
+    checked = 0
+    errors: List[str] = []
+    for path in markdown_files(targets):
+        for line_no, source in python_snippets(path):
+            checked += 1
+            try:
+                compile(unwrap_doctest(source), f"{path}:{line_no}", "exec")
+            except SyntaxError as exc:
+                errors.append(f"{path}:{line_no}: {exc.msg} "
+                              f"(snippet line {exc.lineno})")
+    if errors:
+        print(f"extract_snippets: {len(errors)} of {checked} python "
+              f"snippet(s) failed to compile:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"extract_snippets: {checked} python snippet(s) compile")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
