@@ -260,6 +260,48 @@ def estimate_closest_pair_distance(
     return math.sqrt(shared / (math.pi * pairs))
 
 
+#: Measured CPU cost of one entry pair in each pairwise expansion
+#: kernel, in nanoseconds (``benchmarks/bench_kernels.py``, M = 21
+#: nodes, d = 2, Euclidean; re-run it after kernel changes and update
+#: these).  Keys are the :data:`repro.geometry.vectorized.KERNEL_STATS`
+#: kernel names: the NumPy batch kernels plus the engine's ``*_scalar``
+#: fallbacks.
+KERNEL_NS_PER_PAIR = {
+    "minmin": 112.0,
+    "minmax": 616.0,
+    "maxmax": 88.0,
+    "points": 54.0,
+    "minmin_scalar": 1940.0,
+    "minmax_scalar": 10980.0,
+    "maxmax_scalar": 2120.0,
+    "points_scalar": 3280.0,
+}
+
+
+def estimate_cpu_ms(kernels: dict) -> float:
+    """Predicted CPU milliseconds spent in the pairwise kernels.
+
+    Folds a kernel tally -- the ``"kernels"`` section of the service
+    metrics snapshot, i.e. ``{name: {"pairs": ...}}`` from
+    :meth:`repro.geometry.vectorized.KernelStats.snapshot` -- through
+    the :data:`KERNEL_NS_PER_PAIR` calibration table.  This is the
+    CPU-side complement of :func:`estimate_cpq_accesses` (which prices
+    only I/O): comparing the two tells an operator whether a workload
+    is disk- or compute-bound, and comparing this estimate against the
+    measured latency rollups recalibrates the table.
+
+    Unknown kernel names are priced at the most expensive known rate
+    rather than dropped, so the estimate stays an upper-ish bound when
+    new kernels land before their calibration does.
+    """
+    fallback = max(KERNEL_NS_PER_PAIR.values())
+    total_ns = 0.0
+    for name, tally in kernels.items():
+        pairs = tally["pairs"] if isinstance(tally, dict) else tally
+        total_ns += pairs * KERNEL_NS_PER_PAIR.get(name, fallback)
+    return total_ns / 1e6
+
+
 def _center_range(lo: float, hi: float, side: float) -> Tuple[float, float]:
     half = min(side, hi - lo) / 2.0
     return lo + half, max(lo + half, hi - half)

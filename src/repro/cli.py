@@ -30,7 +30,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.core.api import ALGORITHMS, k_closest_pairs
+from repro.core.api import ALGORITHMS, CPQRequest, k_closest_pairs
 from repro.datasets import (
     UNIT_WORKSPACE,
     load_points,
@@ -102,13 +102,13 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     tree_p = _load_tree(args.left)
     tree_q = _load_tree(args.right)
-    result = k_closest_pairs(
-        tree_p,
-        tree_q,
+    request = CPQRequest(
         k=args.k,
         algorithm=args.algorithm,
         buffer_pages=args.buffer,
+        use_vectorized=not args.scalar,
     )
+    result = k_closest_pairs(tree_p, tree_q, request=request)
     for rank, pair in enumerate(result.pairs, start=1):
         print(f"{rank:4d}  {pair.p}  {pair.q}  {pair.distance:.9f}")
     print(
@@ -151,9 +151,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
         result = k_closest_pairs(
             tree_p,
             tree_q,
-            k=args.k,
-            algorithm=algorithm,
-            buffer_pages=args.buffer,
+            request=CPQRequest(
+                k=args.k, algorithm=algorithm, buffer_pages=args.buffer
+            ),
             tracer=tracer,
         )
         root.annotate(algorithm=result.algorithm, pairs=len(result.pairs))
@@ -232,6 +232,9 @@ def _parse_service_request(obj: dict, default_pair: str = "default"):
         return CPQRequest(
             k=int(obj.get("k", 1)),
             algorithm=obj.get("algorithm", "auto"),
+            tie_break=obj.get("tie_break"),
+            maxmax_pruning=bool(obj.get("maxmax_pruning", True)),
+            use_vectorized=bool(obj.get("use_vectorized", True)),
             **common,
         )
     if op == "knn":
@@ -446,6 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--algorithm", choices=ALGORITHMS, default="heap")
     query.add_argument("--buffer", type=int, default=0,
                        help="total LRU buffer pages (B/2 per tree)")
+    query.add_argument("--scalar", action="store_true",
+                       help="use the scalar (non-vectorized) expansion "
+                            "path; results are identical")
     query.set_defaults(func=cmd_query)
 
     explain = sub.add_parser(

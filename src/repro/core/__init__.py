@@ -17,7 +17,16 @@ point sets (Section 3 of the paper):
 :func:`~repro.core.api.k_closest_pairs` is the public entry point.
 """
 
-from repro.core.api import closest_pair, k_closest_pairs
+from repro.core.api import (
+    ALGORITHM_REGISTRY,
+    ALGORITHMS,
+    PLANNABLE_ALGORITHMS,
+    AlgorithmSpec,
+    CPQRequest,
+    DeadlineExceeded,
+    closest_pair,
+    k_closest_pairs,
+)
 from repro.core.height import FIX_AT_LEAVES, FIX_AT_ROOT
 from repro.core.kheap import KHeap
 from repro.core.result import ClosestPair, CPQResult
@@ -26,6 +35,12 @@ from repro.core.ties import TIE_CRITERIA, TieCriterion
 __all__ = [
     "k_closest_pairs",
     "closest_pair",
+    "CPQRequest",
+    "AlgorithmSpec",
+    "ALGORITHM_REGISTRY",
+    "ALGORITHMS",
+    "PLANNABLE_ALGORITHMS",
+    "DeadlineExceeded",
     "ClosestPair",
     "CPQResult",
     "KHeap",

@@ -1,29 +1,41 @@
 """Public entry points for closest pair queries.
 
+:class:`CPQRequest` is the one description of a K-CPQ: every consumer
+-- :func:`k_closest_pairs`, the query service, the planner, the result
+cache, and the CLI -- builds or receives the same frozen object instead
+of re-plumbing nine keyword arguments.  :data:`ALGORITHM_REGISTRY` is
+the single source of truth for the available algorithms and their
+capability flags.
+
 :func:`k_closest_pairs` runs any of the five algorithms on two R-trees
 and returns a :class:`~repro.core.result.CPQResult` carrying the K
-pairs and the cost statistics.  :func:`closest_pair` is the 1-CPQ
-convenience wrapper.
+pairs and the cost statistics.  The classic keyword signature still
+works and is a thin shim that builds a :class:`CPQRequest`.
+:func:`closest_pair` is the 1-CPQ convenience wrapper.
 
 Example
 -------
 >>> from repro.rtree.bulk import bulk_load
->>> from repro.core import k_closest_pairs
+>>> from repro.core import CPQRequest, k_closest_pairs
 >>> sites = bulk_load([(0.0, 0.0), (5.0, 5.0)])
 >>> resorts = bulk_load([(1.0, 1.0), (9.0, 9.0)])
->>> result = k_closest_pairs(sites, resorts, k=1, algorithm="heap")
+>>> result = k_closest_pairs(
+...     sites, resorts, request=CPQRequest(k=1, algorithm="heap")
+... )
 >>> result.pairs[0].p, result.pairs[0].q
 ((0.0, 0.0), (1.0, 1.0))
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.engine import CPQContext
 from repro.core.exhaustive import exhaustive
 from repro.core.heap import heap_algorithm
-from repro.core.height import FIX_AT_ROOT
+from repro.core.height import FIX_AT_ROOT, validate_strategy
 from repro.core.naive import naive
 from repro.core.result import ClosestPair, CPQResult
 from repro.core.simple import simple
@@ -32,9 +44,220 @@ from repro.core.ties import TieBreak
 from repro.geometry.minkowski import EUCLIDEAN, MinkowskiMetric
 from repro.rtree.tree import RTree
 
-#: Algorithm registry; keys accepted by :func:`k_closest_pairs`.
-ALGORITHMS = ("naive", "exh", "sim", "std", "heap")
 
+class DeadlineExceeded(Exception):
+    """A query overran its deadline.
+
+    Raised from the cooperative cancellation probe between node-pair
+    visits, so traversals abort at a consistent point; the trees and
+    buffers remain usable.  (Re-exported by ``repro.service`` for its
+    per-request deadlines.)
+    """
+
+
+# ---------------------------------------------------------------------------
+# Algorithm registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered CPQ algorithm and its capability flags.
+
+    The flags let generic consumers (CLI, planner, service validation)
+    reason about an algorithm without hard-coding its name: whether it
+    answers K > 1 queries, honours cooperative deadlines, has a
+    vectorized kernel path, and whether the cost-model planner may
+    select it (NAIVE is correct but exponentially expensive, so it is
+    registered as not plannable).
+    """
+
+    name: str
+    label: str
+    description: str
+    supports_many: bool = True
+    supports_deadline: bool = True
+    supports_vectorized: bool = True
+    plannable: bool = True
+    runner: Optional[Callable[..., CPQResult]] = field(
+        default=None, repr=False, compare=False
+    )
+
+
+def _run_naive(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    return naive(ctx, request.height_strategy, request.use_vectorized)
+
+
+def _run_exh(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    return exhaustive(ctx, request.height_strategy, request.use_vectorized)
+
+
+def _run_sim(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    return simple(
+        ctx,
+        request.height_strategy,
+        request.maxmax_pruning,
+        request.use_vectorized,
+    )
+
+
+def _run_std(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    return sorted_distances(
+        ctx,
+        request.height_strategy,
+        request.tie_break,
+        request.maxmax_pruning,
+        request.use_vectorized,
+    )
+
+
+def _run_heap(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    return heap_algorithm(
+        ctx,
+        request.height_strategy,
+        request.tie_break,
+        request.maxmax_pruning,
+        request.use_vectorized,
+    )
+
+
+#: The single source of truth for available algorithms.  CLI choices,
+#: planner candidates, and request validation all derive from it.
+ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec(
+            name="naive",
+            label="NAIVE",
+            description="recursive, no pruning (ground truth baseline)",
+            plannable=False,
+            runner=_run_naive,
+        ),
+        AlgorithmSpec(
+            name="exh",
+            label="EXH",
+            description="prunes by MINMINDIST against T (Section 3.2)",
+            runner=_run_exh,
+        ),
+        AlgorithmSpec(
+            name="sim",
+            label="SIM",
+            description="EXH + early T from MINMAXDIST (Section 3.3)",
+            runner=_run_sim,
+        ),
+        AlgorithmSpec(
+            name="std",
+            label="STD",
+            description="SIM + ascending MINMINDIST order (Section 3.4)",
+            runner=_run_std,
+        ),
+        AlgorithmSpec(
+            name="heap",
+            label="HEAP",
+            description="global min-heap instead of recursion (Section 3.5)",
+            runner=_run_heap,
+        ),
+    )
+}
+
+#: Algorithm names in registration order; keys accepted by
+#: :func:`k_closest_pairs` (kept for backwards compatibility -- derive
+#: capability answers from :data:`ALGORITHM_REGISTRY`).
+ALGORITHMS: Tuple[str, ...] = tuple(ALGORITHM_REGISTRY)
+
+#: Names the cost-model planner may choose between.
+PLANNABLE_ALGORITHMS: Tuple[str, ...] = tuple(
+    name for name, spec in ALGORITHM_REGISTRY.items() if spec.plannable
+)
+
+
+# ---------------------------------------------------------------------------
+# Query description
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CPQRequest:
+    """Immutable description of one K closest pairs query.
+
+    Validation and normalisation happen at construction (unknown
+    algorithm / strategy / tie criterion, non-positive ``k`` or
+    ``deadline_ms``, negative ``buffer_pages``), so a request that
+    exists is runnable.  ``tie_break`` accepts anything
+    :meth:`TieBreak.parse` does and is stored parsed.
+
+    Execution-environment concerns (an externally supplied tracer or
+    cancellation probe) stay arguments of :func:`k_closest_pairs`; the
+    request describes *what* to compute, plus the ``deadline_ms`` /
+    ``trace`` conveniences for callers without a service around them.
+    """
+
+    k: int = 1
+    algorithm: str = "heap"
+    metric: MinkowskiMetric = EUCLIDEAN
+    height_strategy: str = FIX_AT_ROOT
+    tie_break: Optional[TieBreak] = None
+    buffer_pages: Optional[int] = None
+    maxmax_pruning: bool = True
+    use_vectorized: bool = True
+    deadline_ms: Optional[float] = None
+    trace: bool = False
+    reset_stats: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithm", str(self.algorithm).lower())
+        if self.algorithm not in ALGORITHM_REGISTRY:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"expected one of {ALGORITHMS}"
+            )
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.buffer_pages is not None and self.buffer_pages < 0:
+            raise ValueError("buffer_pages must be >= 0")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0")
+        validate_strategy(self.height_strategy)
+        if self.tie_break is not None:
+            object.__setattr__(self, "tie_break", TieBreak.parse(self.tie_break))
+
+    @property
+    def spec(self) -> AlgorithmSpec:
+        """The registry entry for this request's algorithm."""
+        return ALGORITHM_REGISTRY[self.algorithm]
+
+    def cache_key(self) -> Tuple:
+        """The result-identity of this request as primitives.
+
+        Two requests with equal keys return identical pairs on the same
+        tree generations: fields that only change *how* the answer is
+        computed (buffers, deadline, tracing, stats) are excluded;
+        ``use_vectorized`` is excluded too because the scalar path is
+        bit-identical by construction (and tested to be).
+        """
+        return (
+            self.k,
+            self.algorithm,
+            self.metric.p,
+            self.height_strategy,
+            repr(self.tie_break) if self.tie_break is not None else None,
+            self.maxmax_pruning,
+        )
+
+
+def _deadline_probe(deadline_ms: float) -> Callable[[], None]:
+    deadline = time.monotonic() + deadline_ms / 1000.0
+
+    def probe() -> None:
+        if time.monotonic() > deadline:
+            raise DeadlineExceeded(
+                f"query exceeded its deadline of {deadline_ms:g} ms"
+            )
+
+    return probe
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
 
 def k_closest_pairs(
     tree_p: RTree,
@@ -42,12 +265,16 @@ def k_closest_pairs(
     k: int = 1,
     algorithm: str = "heap",
     *,
+    request: Optional[CPQRequest] = None,
     metric: MinkowskiMetric = EUCLIDEAN,
     height_strategy: str = FIX_AT_ROOT,
     tie_break: Optional[TieBreak] = None,
     buffer_pages: Optional[int] = None,
     reset_stats: bool = True,
     maxmax_pruning: bool = True,
+    use_vectorized: bool = True,
+    deadline_ms: Optional[float] = None,
+    trace: bool = False,
     cancel_check: Optional[Callable[[], None]] = None,
     tracer=None,
 ) -> CPQResult:
@@ -58,11 +285,16 @@ def k_closest_pairs(
     tree_p, tree_q:
         The two indexed point sets (coordinates in workspace units;
         distances in the result are in the same units).
+    request:
+        A prepared :class:`CPQRequest`.  When given it is authoritative
+        and the individual query keywords below are ignored; when
+        omitted, one is built from them (the classic signature).
     k:
         Number of pairs to report (``1`` gives the 1-CPQ special case
         with its stronger MINMAXDIST pruning).
     algorithm:
-        One of ``"naive"``, ``"exh"``, ``"sim"``, ``"std"``, ``"heap"``.
+        A key of :data:`ALGORITHM_REGISTRY` (``"naive"``, ``"exh"``,
+        ``"sim"``, ``"std"``, ``"heap"``).
     metric:
         Minkowski metric; Euclidean by default.
     height_strategy:
@@ -81,6 +313,19 @@ def k_closest_pairs(
         For K > 1 with SIM/STD/HEAP: use the MAXMAXDIST accumulation
         bound of Section 3.8 (the paper's implemented variant); off
         falls back to the plain K-heap-threshold modification.
+    use_vectorized:
+        Evaluate node expansions and leaf scans through the NumPy
+        pairwise kernels (default).  The scalar path computes the same
+        values entry-by-entry and exists for parity testing.
+    deadline_ms:
+        Abort with :class:`DeadlineExceeded` once this many
+        milliseconds have elapsed (checked between node-pair visits).
+        Ignored when ``cancel_check`` is supplied -- the caller's probe
+        wins.
+    trace:
+        Record this query with a private tracer and attach the finished
+        span tree as ``result.trace``.  Ignored when ``tracer`` is
+        supplied -- the caller owns span collection then.
     cancel_check:
         Cooperative-cancellation probe, called once per visited node
         pair; whatever it raises (a deadline, a shutdown signal)
@@ -101,35 +346,47 @@ def k_closest_pairs(
         ``distance_computations``, ``node_pairs_visited``,
         ``max_queue_size`` and ``queue_inserts`` (Section 3.9).
     """
-    algorithm = algorithm.lower()
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+    if request is None:
+        request = CPQRequest(
+            k=k,
+            algorithm=algorithm,
+            metric=metric,
+            height_strategy=height_strategy,
+            tie_break=tie_break,
+            buffer_pages=buffer_pages,
+            maxmax_pruning=maxmax_pruning,
+            use_vectorized=use_vectorized,
+            deadline_ms=deadline_ms,
+            trace=trace,
+            reset_stats=reset_stats,
         )
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    ties = TieBreak.parse(tie_break) if tie_break is not None else None
-    if buffer_pages is not None:
-        if buffer_pages < 0:
-            raise ValueError("buffer_pages must be >= 0")
-        tree_p.file.set_buffer_capacity(buffer_pages // 2)
-        tree_q.file.set_buffer_capacity(buffer_pages // 2)
-    if reset_stats:
+    if request.buffer_pages is not None:
+        tree_p.file.set_buffer_capacity(request.buffer_pages // 2)
+        tree_q.file.set_buffer_capacity(request.buffer_pages // 2)
+    if request.reset_stats:
         tree_p.file.reset_for_query()
         tree_q.file.reset_for_query()
+    if cancel_check is None and request.deadline_ms is not None:
+        cancel_check = _deadline_probe(request.deadline_ms)
+    local_tracer = None
+    if tracer is None and request.trace:
+        from repro.obs.trace import Tracer
+
+        local_tracer = tracer = Tracer()
 
     ctx = CPQContext(
-        tree_p, tree_q, k, metric, cancel_check=cancel_check, tracer=tracer
+        tree_p,
+        tree_q,
+        request.k,
+        request.metric,
+        cancel_check=cancel_check,
+        tracer=tracer,
     )
-    if algorithm == "naive":
-        return naive(ctx, height_strategy)
-    if algorithm == "exh":
-        return exhaustive(ctx, height_strategy)
-    if algorithm == "sim":
-        return simple(ctx, height_strategy, maxmax_pruning)
-    if algorithm == "std":
-        return sorted_distances(ctx, height_strategy, ties, maxmax_pruning)
-    return heap_algorithm(ctx, height_strategy, ties, maxmax_pruning)
+    result = request.spec.runner(ctx, request)
+    if local_tracer is not None:
+        traces = local_tracer.pop_traces()
+        result.trace = traces[-1] if traces else None
+    return result
 
 
 def closest_pair(

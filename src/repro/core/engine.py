@@ -39,8 +39,10 @@ from repro.core.height import (
 from repro.core.kheap import KHeap
 from repro.core.result import ClosestPair, CPQResult
 from repro.core.ties import CandidateGeometry, TieBreak
+from repro.geometry import metrics as scalar_metrics
 from repro.geometry.minkowski import EUCLIDEAN, MinkowskiMetric
 from repro.geometry.vectorized import (
+    KERNEL_STATS,
     pairwise_maxdist,
     pairwise_mindist,
     pairwise_minmaxdist,
@@ -71,6 +73,12 @@ class CPQOptions:
     #: For K > 1: use the MAXMAXDIST accumulation bound (the paper's
     #: "alternative, although more complicated, modification").
     maxmax_k_pruning: bool = True
+    #: Evaluate node expansions through the NumPy pairwise kernels
+    #: (:mod:`repro.geometry.vectorized`).  The scalar path computes the
+    #: same matrices entry-by-entry via :mod:`repro.geometry.metrics`
+    #: with bit-identical arithmetic, and exists for parity testing and
+    #: as the microbenchmark baseline.
+    use_vectorized: bool = True
 
     def __post_init__(self) -> None:
         validate_strategy(self.height_strategy)
@@ -215,35 +223,61 @@ def traced_traversal(ctx: CPQContext, algorithm: str, **attrs):
     base_p, base_q = ctx._trace_io_base
     tracer.watch_buffer(ctx.tree_p.file.buffer, "p")
     tracer.watch_buffer(ctx.tree_q.file.buffer, "q")
-    with tracer.span("traverse", algorithm=algorithm, k=ctx.k,
-                     **attrs) as span:
-        ctx.trace_span = span
-        collectors = {"p": None, "q": None}
-        try:
-            with tracer.collect_io(("p", "q")) as collectors:
-                yield span
-        finally:
-            ctx.trace_span = None
-            span.annotate(
-                node_pairs_visited=ctx.stats.node_pairs_visited,
-                distance_computations=ctx.stats.distance_computations,
-            )
-            _finish_io_span(tracer, "io.p", base_p,
-                            ctx.tree_p.stats.snapshot(), collectors["p"])
-            _finish_io_span(tracer, "io.q", base_q,
-                            ctx.tree_q.stats.snapshot(), collectors["q"])
+    try:
+        with tracer.span("traverse", algorithm=algorithm, k=ctx.k,
+                         **attrs) as span:
+            ctx.trace_span = span
+            collectors = {"p": None, "q": None}
+            try:
+                with tracer.collect_io(("p", "q")) as collectors:
+                    yield span
+            finally:
+                ctx.trace_span = None
+                span.annotate(
+                    node_pairs_visited=ctx.stats.node_pairs_visited,
+                    distance_computations=ctx.stats.distance_computations,
+                )
+                _finish_io_span(tracer, "io.p", base_p,
+                                ctx.tree_p.stats.snapshot(), collectors["p"])
+                _finish_io_span(tracer, "io.q", base_q,
+                                ctx.tree_q.stats.snapshot(), collectors["q"])
+    finally:
+        # Without this, repeated queries on the same trees leak the
+        # buffers' on_read observers past the traversal that set them.
+        tracer.unwatch_buffer(ctx.tree_p.file.buffer)
+        tracer.unwatch_buffer(ctx.tree_q.file.buffer)
 
 
 # ---------------------------------------------------------------------------
 # Leaf-pair scanning (step CP3)
 # ---------------------------------------------------------------------------
 
-def scan_leaf_pair(ctx: CPQContext, leaf_p: Node, leaf_q: Node) -> None:
+def _scalar_point_distances(leaf_p: Node, leaf_q: Node, metric) -> np.ndarray:
+    out = np.array(
+        [
+            [metric.distance(a.point, b.point) for b in leaf_q.entries]
+            for a in leaf_p.entries
+        ],
+        dtype=np.float64,
+    )
+    KERNEL_STATS.record("points_scalar", out.size)
+    return out
+
+
+def scan_leaf_pair(
+    ctx: CPQContext,
+    leaf_p: Node,
+    leaf_q: Node,
+    options: Optional[CPQOptions] = None,
+) -> None:
     """Compute all point-pair distances of two leaves and update the
     K-heap (step CP3 of every algorithm)."""
-    distances = pairwise_point_distances(
-        leaf_p.points_array(), leaf_q.points_array(), ctx.metric
-    )
+    if options is None or options.use_vectorized:
+        distances = pairwise_point_distances(
+            leaf_p.points_array(), leaf_q.points_array(), ctx.metric
+        )
+    else:
+        distances = _scalar_point_distances(leaf_p, leaf_q, ctx.metric)
     ctx.stats.distance_computations += distances.size
     if ctx.k == 1:
         flat = int(np.argmin(distances))
@@ -338,6 +372,22 @@ def _side_arrays(node: Node, expand: bool):
     )
 
 
+def _side_mbrs(node: Node, expand: bool):
+    if expand:
+        return [e.mbr for e in node.entries]
+    return [node.mbr()]
+
+
+def _scalar_matrix(fn, name: str, mbrs_p, mbrs_q, metric) -> np.ndarray:
+    """Entry-by-entry pairwise metric matrix for the scalar path."""
+    out = np.array(
+        [[fn(a, b, metric) for b in mbrs_q] for a in mbrs_p],
+        dtype=np.float64,
+    )
+    KERNEL_STATS.record(name, out.size)
+    return out
+
+
 def _guaranteed_points(tree: RTree, node: Node, expanded: bool) -> np.ndarray:
     """Minimum number of points under each candidate reference.
 
@@ -392,17 +442,43 @@ def generate_candidates(
     side = expansion(node_p, node_q, options.height_strategy)
     expand_p = side in (EXPAND_BOTH, EXPAND_P)
     expand_q = side in (EXPAND_BOTH, EXPAND_Q)
-    lo_p, hi_p = _side_arrays(node_p, expand_p)
-    lo_q, hi_q = _side_arrays(node_q, expand_q)
-
-    minmin = pairwise_mindist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+    if options.use_vectorized:
+        lo_p, hi_p = _side_arrays(node_p, expand_p)
+        lo_q, hi_q = _side_arrays(node_q, expand_q)
+        minmin = pairwise_mindist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+    else:
+        mbrs_p = _side_mbrs(node_p, expand_p)
+        mbrs_q = _side_mbrs(node_q, expand_q)
+        minmin = _scalar_matrix(
+            scalar_metrics.mindist, "minmin_scalar", mbrs_p, mbrs_q, ctx.metric
+        )
     minmax_matrix = None
     if options.update_bound:
-        minmax_matrix = pairwise_minmaxdist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+        if options.use_vectorized:
+            minmax_matrix = pairwise_minmaxdist(
+                lo_p, hi_p, lo_q, hi_q, ctx.metric
+            )
+        else:
+            minmax_matrix = _scalar_matrix(
+                scalar_metrics.minmaxdist,
+                "minmax_scalar",
+                mbrs_p,
+                mbrs_q,
+                ctx.metric,
+            )
         if ctx.k == 1:
             ctx.update_bound(float(minmax_matrix.min()))
         elif options.maxmax_k_pruning:
-            maxmax = pairwise_maxdist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+            if options.use_vectorized:
+                maxmax = pairwise_maxdist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+            else:
+                maxmax = _scalar_matrix(
+                    scalar_metrics.maxdist,
+                    "maxmax_scalar",
+                    mbrs_p,
+                    mbrs_q,
+                    ctx.metric,
+                )
             counts = (
                 _guaranteed_points(ctx.tree_p, node_p, expand_p)[:, None]
                 * _guaranteed_points(ctx.tree_q, node_q, expand_q)[None, :]
@@ -506,7 +582,7 @@ def _visit(
     ctx.check_cancelled()
     ctx.stats.node_pairs_visited += 1
     if node_p.is_leaf and node_q.is_leaf:
-        scan_leaf_pair(ctx, node_p, node_q)
+        scan_leaf_pair(ctx, node_p, node_q, options)
         return
     candidates = generate_candidates(ctx, node_p, node_q, options)
     order = order_candidates(ctx, candidates, options)

@@ -42,6 +42,7 @@ def heap_algorithm(
     height_strategy: str = FIX_AT_ROOT,
     tie_break: Optional[TieBreak] = None,
     maxmax_pruning: bool = True,
+    use_vectorized: bool = True,
 ) -> CPQResult:
     """Run the Heap algorithm on a prepared query context.
 
@@ -54,6 +55,7 @@ def heap_algorithm(
         sort=False,
         height_strategy=height_strategy,
         maxmax_k_pruning=maxmax_pruning,
+        use_vectorized=use_vectorized,
     )
     ties = tie_break if tie_break is not None else DEFAULT_TIE_BREAK
     root_p = ctx.root_p
@@ -71,7 +73,7 @@ def heap_algorithm(
         ctx.check_cancelled()
         ctx.stats.node_pairs_visited += 1
         if node_p.is_leaf and node_q.is_leaf:
-            scan_leaf_pair(ctx, node_p, node_q)
+            scan_leaf_pair(ctx, node_p, node_q, options)
             return
         candidates = generate_candidates(ctx, node_p, node_q, options)
         for position in range(len(candidates)):

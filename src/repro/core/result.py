@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.storage.stats import QueryStats
 
@@ -32,12 +32,16 @@ class CPQResult:
     ``pairs`` holds the K closest pairs sorted by ascending distance
     (fewer than K when ``|P| * |Q| < K``).  ``stats`` carries the cost
     counters -- ``stats.disk_accesses`` is the number the paper plots.
+    ``trace`` is the finished root span when the query was issued with
+    ``CPQRequest(trace=True)`` and no external tracer; ``None``
+    otherwise.
     """
 
     pairs: List[ClosestPair] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
     algorithm: str = ""
     k: int = 1
+    trace: Optional[object] = None
 
     @property
     def max_distance(self) -> float:

@@ -24,6 +24,7 @@ def simple(
     ctx: CPQContext,
     height_strategy: str = FIX_AT_ROOT,
     maxmax_pruning: bool = True,
+    use_vectorized: bool = True,
 ) -> CPQResult:
     """Run the Simple recursive algorithm on a prepared query context.
 
@@ -36,6 +37,7 @@ def simple(
         sort=False,
         height_strategy=height_strategy,
         maxmax_k_pruning=maxmax_pruning,
+        use_vectorized=use_vectorized,
     )
     return run_recursive(
         ctx, options, NAME,

@@ -21,6 +21,7 @@ the pairwise metrics.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.geometry.mbr import MBR
@@ -64,6 +65,14 @@ def maxmaxdist(a: MBR, b: MBR, metric: MinkowskiMetric = EUCLIDEAN) -> float:
     return maxdist(a, b, metric)
 
 
+def _power(delta: float, p: float) -> float:
+    if p == 2.0:
+        return delta * delta
+    if p == 1.0:
+        return delta
+    return delta ** p
+
+
 def minmaxdist(a: MBR, b: MBR, metric: MinkowskiMetric = EUCLIDEAN) -> float:
     """MINMAXDIST(MP, MQ): min over face pairs of the face MAXDIST.
 
@@ -71,15 +80,72 @@ def minmaxdist(a: MBR, b: MBR, metric: MinkowskiMetric = EUCLIDEAN) -> float:
     box) lies within this distance, because every face of an MBR
     contains at least one point and any two points on a pair of faces
     are at most MAXDIST(face, face) apart (Inequality 2 of the paper).
+
+    For finite ``p`` this uses the same branch-free closed form as
+    ``repro.geometry.vectorized.pairwise_minmaxdist`` with the identical
+    operation order, so the scalar and vectorized engine paths produce
+    bit-identical values; the Chebyshev metric keeps the literal face
+    enumeration (as does the kernel).
     """
-    best = None
-    for fa in a.faces():
-        for fb in b.faces():
-            d = maxdist(fa, fb, metric)
-            if best is None or d < best:
-                best = d
-    assert best is not None
-    return best
+    p = metric.p
+    if p == math.inf:
+        best = None
+        for fa in a.faces():
+            for fb in b.faces():
+                d = maxdist(fa, fb, metric)
+                if best is None or d < best:
+                    best = d
+        assert best is not None
+        return best
+
+    k = len(a.lo)
+    mxp = []
+    pap = []
+    pbp = []
+    pabp = []
+    total = 0.0
+    for j, (al, ah, bl, bh) in enumerate(zip(a.lo, a.hi, b.lo, b.hi)):
+        mp = _power(max(abs(ah - bl), abs(bh - al)), p)
+        total = mp if j == 0 else total + mp
+        mxp.append(mp)
+        pap.append(
+            _power(
+                min(
+                    max(abs(al - bl), abs(bh - al)),
+                    max(abs(ah - bl), abs(bh - ah)),
+                ),
+                p,
+            )
+        )
+        pbp.append(
+            _power(
+                min(
+                    max(abs(bl - al), abs(ah - bl)),
+                    max(abs(bh - al), abs(ah - bh)),
+                ),
+                p,
+            )
+        )
+        pabp.append(
+            _power(
+                min(
+                    min(abs(al - bl), abs(al - bh)),
+                    min(abs(ah - bl), abs(ah - bh)),
+                ),
+                p,
+            )
+        )
+    # Both faces pin the same dimension j.
+    best = min((total - mxp[j]) + pabp[j] for j in range(k))
+    # Faces pin different dimensions j (side a) and l != j (side b).
+    if k > 1:
+        u = [pap[j] - mxp[j] for j in range(k)]
+        v = [pbp[j] - mxp[j] for j in range(k)]
+        cross = min(
+            u[j] + v[l] for j in range(k) for l in range(k) if l != j
+        )
+        best = min(best, total + cross)
+    return metric.finish(best)
 
 
 def point_mbr_mindist(

@@ -180,6 +180,8 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._traces: List[Span] = []
+        #: id(buffer) -> [observer, refcount] for watched buffer pools.
+        self._watched: Dict[int, list] = {}
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -270,9 +272,11 @@ class Tracer:
         Every subsequent :meth:`LRUBuffer.read` reports ``(page_id,
         hit)`` to the *calling thread's* active I/O collector for
         ``label`` (see :meth:`collect_io`); threads with no active
-        collector pay one dictionary probe and move on.  Idempotent;
-        installing a second tracer on the same buffer replaces the
-        first.
+        collector pay one dictionary probe and move on.  Watches are
+        reference-counted per buffer: concurrent traversals sharing a
+        tree each watch/unwatch, and the observer comes off only when
+        the last one releases it.  Installing a second tracer on the
+        same buffer replaces the first.
         """
         def observe(page_id: int, hit: bool,
                     _tracer=self, _label=label) -> None:
@@ -282,11 +286,34 @@ class Tracer:
                 if collector is not None:
                     collector.record(page_id, hit)
 
+        with self._lock:
+            entry = self._watched.get(id(buffer))
+            if entry is None:
+                self._watched[id(buffer)] = [observe, 1]
+            else:
+                entry[0] = observe
+                entry[1] += 1
         buffer.on_read = observe
 
     def unwatch_buffer(self, buffer) -> None:
-        """Remove any installed page-read observer from a buffer."""
-        buffer.on_read = None
+        """Release one :meth:`watch_buffer` registration on a buffer.
+
+        The observer is removed when the final registration drops (and
+        only if this tracer's observer is still the installed one, so
+        an unrelated replacement survives).  Unbalanced calls -- e.g.
+        against a buffer another tracer watched -- are no-ops.
+        """
+        with self._lock:
+            entry = self._watched.get(id(buffer))
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            observer = entry[0]
+            del self._watched[id(buffer)]
+        if buffer.on_read is observer:
+            buffer.on_read = None
 
     @contextmanager
     def collect_io(self, labels: Iterable[str]):

@@ -120,6 +120,29 @@ class Node:
             ]
         return cls(page_id, level, entries)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        page_id: int,
+        level: int,
+        tuples,
+        lo: Optional[np.ndarray],
+        hi: Optional[np.ndarray],
+    ) -> "Node":
+        """Build a node with its geometry arrays pre-attached.
+
+        ``lo`` / ``hi`` come from ``NodeSerializer.deserialize_arrays``
+        and must mirror what ``_build_arrays`` would compute from
+        ``tuples`` (for leaves: the same array twice).  Attaching them
+        here skips the lazy per-entry rebuild on the query path; any
+        later mutation still invalidates them as usual.
+        """
+        node = cls.from_tuples(page_id, level, tuples)
+        if lo is not None and len(node.entries):
+            node._hi = hi
+            node._lo = lo
+        return node
+
     def __repr__(self) -> str:
         kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
         return f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"

@@ -138,8 +138,8 @@ class RTree:
         data = self.file.read_page(page_id)
         node = self._nodes.get(page_id)
         if node is None:
-            level, tuples = self.serializer.deserialize(data)
-            node = Node.from_tuples(page_id, level, tuples)
+            level, tuples, lo, hi = self.serializer.deserialize_arrays(data)
+            node = Node.from_arrays(page_id, level, tuples, lo, hi)
             self._nodes[page_id] = node
         return node
 

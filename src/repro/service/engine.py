@@ -48,7 +48,14 @@ from typing import (
 )
 
 from repro.analysis.cost_model import TreeShape
-from repro.core.api import ALGORITHMS, k_closest_pairs
+from repro.core import api as core_api
+from repro.core.api import (
+    ALGORITHM_REGISTRY,
+    ALGORITHMS,
+    DeadlineExceeded,
+    k_closest_pairs,
+)
+from repro.core.height import FIX_AT_ROOT
 from repro.geometry.mbr import MBR
 from repro.obs.trace import NULL_TRACER
 from repro.query.knn import nearest_neighbors
@@ -62,10 +69,6 @@ STATUS_OK = "ok"
 STATUS_REJECTED = "rejected"
 STATUS_DEADLINE = "deadline_exceeded"
 STATUS_ERROR = "error"
-
-
-class DeadlineExceeded(Exception):
-    """Raised inside a worker when a query's deadline expires."""
 
 
 class ServiceClosed(RuntimeError):
@@ -82,7 +85,14 @@ def _as_point(values: Sequence[float]) -> Tuple[float, ...]:
 
 @dataclass(frozen=True)
 class CPQRequest:
-    """K closest pairs between the two trees of a registered pair."""
+    """K closest pairs between the two trees of a registered pair.
+
+    The service-level request adds routing concerns (``pair``,
+    ``algorithm="auto"``, ``deadline_ms``, ``use_cache``) on top of the
+    core query parameters; :meth:`to_query` projects it onto one
+    :class:`repro.core.CPQRequest`, which is what execution and the
+    cache key consume.
+    """
 
     kind: ClassVar[str] = "cpq"
 
@@ -93,9 +103,40 @@ class CPQRequest:
     algorithm: str = "auto"
     deadline_ms: Optional[float] = None
     use_cache: bool = True
+    height_strategy: str = FIX_AT_ROOT
+    #: Anything ``TieBreak.parse`` accepts (criterion names, chains).
+    tie_break: Optional[object] = None
+    maxmax_pruning: bool = True
+    use_vectorized: bool = True
+
+    def to_query(self, algorithm: Optional[str] = None) -> core_api.CPQRequest:
+        """The core query this request describes.
+
+        ``algorithm`` substitutes the planner's choice for ``"auto"``.
+        ``reset_stats`` is always off: the service accounts I/O itself
+        and keeps buffers warm across requests.
+        """
+        return core_api.CPQRequest(
+            k=self.k,
+            algorithm=algorithm if algorithm is not None else self.algorithm,
+            height_strategy=self.height_strategy,
+            tie_break=self.tie_break,
+            maxmax_pruning=self.maxmax_pruning,
+            use_vectorized=self.use_vectorized,
+            reset_stats=False,
+        )
 
     def cache_params(self) -> Tuple:
-        return (self.kind, self.k, self.algorithm)
+        # The core request's own result-identity key, with one
+        # substitution: "auto" requests are keyed on "auto" rather than
+        # the planner's pick (decisions are deterministic per
+        # generation, and the cache is invalidated on mutation).
+        template = self.to_query(
+            "heap" if self.algorithm == "auto" else self.algorithm
+        )
+        key = list(template.cache_key())
+        key[1] = self.algorithm
+        return (self.kind, *key)
 
 
 @dataclass(frozen=True)
@@ -554,7 +595,7 @@ class QueryService:
             )
             algorithm = plan.algorithm
             self.metrics.record_planner_decision(algorithm)
-        elif request.algorithm in ALGORITHMS:
+        elif request.algorithm in ALGORITHM_REGISTRY:
             algorithm = request.algorithm
         else:
             raise ValueError(
@@ -564,9 +605,7 @@ class QueryService:
         result = k_closest_pairs(
             pair.tree_p,
             pair.tree_q,
-            k=request.k,
-            algorithm=algorithm,
-            reset_stats=False,
+            request=request.to_query(algorithm),
             cancel_check=self._deadline_probe(deadline),
             tracer=self.tracer,
         )

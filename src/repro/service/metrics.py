@@ -21,6 +21,8 @@ import math
 import threading
 from typing import Dict, Optional
 
+from repro.geometry.vectorized import KERNEL_STATS
+
 #: Upper edges of the latency histogram, in milliseconds.
 LATENCY_BUCKETS_MS = (
     1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
@@ -159,6 +161,12 @@ class ServiceMetrics:
                     "depth": self._queue_depth,
                     "max_depth": self._queue_depth_max,
                 },
+                # Process-wide pairwise-kernel tallies (calls and entry
+                # pairs per kernel, scalar path under *_scalar).  These
+                # are the observed pair counts the cost model's CPU-side
+                # estimates (repro.analysis.cost_model.estimate_cpu_ms)
+                # are recalibrated against.
+                "kernels": KERNEL_STATS.snapshot(),
                 "spans": {
                     name: {
                         "count": count,

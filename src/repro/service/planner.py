@@ -34,7 +34,17 @@ from repro.analysis.cost_model import (
     estimate_closest_pair_distance,
     estimate_cpq_accesses,
 )
+from repro.core.api import ALGORITHM_REGISTRY, PLANNABLE_ALGORITHMS
 from repro.obs.trace import NULL_TRACER
+
+#: The algorithms this planner chooses between, from the shared
+#: registry (every non-plannable entry -- NAIVE -- is excluded there).
+CANDIDATES = PLANNABLE_ALGORITHMS
+
+#: Chosen when the cost model cannot shape a tree: the paper's best
+#: general answer.
+FALLBACK = "heap"
+assert FALLBACK in CANDIDATES
 
 
 @dataclass(frozen=True)
@@ -110,11 +120,14 @@ class Planner:
             ``estimated_distance`` in workspace units).
         """
         if not tracer.enabled:
-            return self._decide(shape_p, shape_q, buffer_pages, k)
-        with tracer.span("plan") as span:
             decision = self._decide(shape_p, shape_q, buffer_pages, k)
-            span.annotate(**decision.as_dict())
-            return decision
+        else:
+            with tracer.span("plan") as span:
+                decision = self._decide(shape_p, shape_q, buffer_pages, k)
+                span.annotate(**decision.as_dict())
+        spec = ALGORITHM_REGISTRY[decision.algorithm]
+        assert spec.plannable, f"planner chose unplannable {spec.name!r}"
+        return decision
 
     def _decide(
         self,
@@ -125,7 +138,7 @@ class Planner:
     ) -> PlanDecision:
         if shape_p is None or shape_q is None:
             return PlanDecision(
-                algorithm="heap",
+                algorithm=FALLBACK,
                 reason="cost model unavailable for this pair; "
                        "defaulting to the best general algorithm",
                 estimated_accesses=math.inf,

@@ -19,6 +19,8 @@ from __future__ import annotations
 import struct
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.storage.page import HEADER_SIZE, PageLayout
 
 #: (coords, object_id)
@@ -48,6 +50,22 @@ class NodeSerializer:
                     f"entry struct of {fmt.size} bytes exceeds the "
                     f"{layout.entry_size}-byte slot"
                 )
+        # Structured views of one entry slot (padding included in
+        # itemsize) so whole pages decode with a single np.frombuffer.
+        self._leaf_dtype = np.dtype(
+            {
+                "names": ["coords", "oid"],
+                "formats": [("<f8", (k,)), "<i8"],
+                "itemsize": layout.entry_size,
+            }
+        )
+        self._internal_dtype = np.dtype(
+            {
+                "names": ["lo", "hi", "child"],
+                "formats": [("<f8", (k,)), ("<f8", (k,)), "<i8"],
+                "itemsize": layout.entry_size,
+            }
+        )
 
     # -- serialisation -----------------------------------------------------
 
@@ -88,12 +106,7 @@ class NodeSerializer:
 
     # -- deserialisation -----------------------------------------------------
 
-    def deserialize(self, page: bytes):
-        """Unpack one page.
-
-        Returns ``(level, entries)`` where entries are leaf tuples when
-        ``level == 0`` and internal tuples otherwise.
-        """
+    def _read_header(self, page: bytes) -> Tuple[int, int]:
         if len(page) != self.layout.page_size:
             raise ValueError(
                 f"page of {len(page)} bytes; expected {self.layout.page_size}"
@@ -106,6 +119,15 @@ class NodeSerializer:
                 f"corrupt page: entry count {count} outside "
                 f"[0, {self.layout.max_entries}]"
             )
+        return level, count
+
+    def deserialize(self, page: bytes):
+        """Unpack one page.
+
+        Returns ``(level, entries)`` where entries are leaf tuples when
+        ``level == 0`` and internal tuples otherwise.
+        """
+        level, count = self._read_header(page)
         slot = self.layout.entry_size
         k = self.layout.dimension
         entries: List = []
@@ -123,3 +145,40 @@ class NodeSerializer:
                 )
                 offset += slot
         return level, entries
+
+    def deserialize_arrays(self, page: bytes):
+        """Unpack one page together with its entry-MBR arrays.
+
+        Returns ``(level, entries, lo, hi)`` where ``entries`` matches
+        :meth:`deserialize` and ``lo`` / ``hi`` are ``(count, k)``
+        float64 arrays of the per-entry MBR bounds, decoded in bulk via
+        a structured dtype.  For leaves both names refer to the *same*
+        coordinate array (points are degenerate rectangles), matching
+        what ``Node._build_arrays`` would lazily produce.  Empty pages
+        return ``None`` arrays.
+        """
+        level, count = self._read_header(page)
+        if count == 0:
+            return level, [], None, None
+        if level == 0:
+            records = np.frombuffer(
+                page, dtype=self._leaf_dtype, count=count, offset=HEADER_SIZE
+            )
+            pts = np.array(records["coords"], dtype=np.float64)
+            entries: List = [
+                (tuple(coords), oid)
+                for coords, oid in zip(pts.tolist(), records["oid"].tolist())
+            ]
+            return level, entries, pts, pts
+        records = np.frombuffer(
+            page, dtype=self._internal_dtype, count=count, offset=HEADER_SIZE
+        )
+        lo = np.array(records["lo"], dtype=np.float64)
+        hi = np.array(records["hi"], dtype=np.float64)
+        entries = [
+            (tuple(low), tuple(high), child)
+            for low, high, child in zip(
+                lo.tolist(), hi.tolist(), records["child"].tolist()
+            )
+        ]
+        return level, entries, lo, hi
