@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Worker-scaling benchmark for the partitioned parallel K-CPQ executor.
+
+Runs one reference K-CPQ (HEAP over two clustered SEQUOIA-like sets)
+serially and with 2/4/8 intra-query workers, on trees whose page reads
+carry a simulated disk latency (``PagedFile(read_latency=...)``; the
+sleep happens outside the buffer lock and releases the GIL, so worker
+threads genuinely overlap I/O waits -- the regime the executor is
+built for).  Every parallel run is asserted byte-identical to the
+serial result, pair for pair, before its time counts.
+
+The printed table is Markdown (paste into ``docs/BENCHMARKS.md``).
+Exit status is the CI gate: nonzero when the 4-worker wall clock
+exceeds ``--max-ratio`` x the serial wall clock (default 0.9, i.e.
+"4 workers must beat serial by at least 10%"; the full-size run is
+expected to clear 2x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py           # full
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.api import CPQRequest, k_closest_pairs
+from repro.datasets import sequoia_like
+from repro.rtree.bulk import bulk_load
+from repro.storage.paged_file import PagedFile
+from repro.storage.store import MemoryPageStore
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def build_trees(n: int, read_latency: float):
+    """Two SEQUOIA-like point sets on latency-simulated paged files."""
+    trees = []
+    for seed in (2000, 2001):
+        points = sequoia_like(n, seed=seed)
+        file = PagedFile(
+            MemoryPageStore(page_size=1024),
+            buffer_capacity=0,
+            page_size=1024,
+            read_latency=0.0,  # free writes during construction
+        )
+        tree = bulk_load([tuple(p) for p in points], file=file)
+        file.read_latency = read_latency
+        trees.append(tree)
+    return trees
+
+
+def run_once(tree_p, tree_q, k: int, workers: int, depth: int):
+    """One cold-cache execution; returns (wall_seconds, result)."""
+    tree_p.file.reset_for_query()
+    tree_q.file.reset_for_query()
+    request = CPQRequest(
+        k=k, algorithm="heap", workers=workers, partition_depth=depth,
+    )
+    start = time.perf_counter()
+    result = k_closest_pairs(tree_p, tree_q, request=request)
+    return time.perf_counter() - start, result
+
+
+def run(n: int, k: int, read_latency: float, depth: int,
+        repeats: int) -> dict:
+    tree_p, tree_q = build_trees(n, read_latency)
+    rows = {}
+    baseline_pairs = None
+    for workers in WORKER_COUNTS:
+        best, result = min(
+            (run_once(tree_p, tree_q, k, workers, depth)
+             for __ in range(repeats)),
+            key=lambda pair: pair[0],
+        )
+        if baseline_pairs is None:
+            baseline_pairs = result.pairs
+        elif result.pairs != baseline_pairs:
+            raise AssertionError(
+                f"{workers}-worker result differs from serial -- the "
+                f"determinism invariant is broken"
+            )
+        parallel = result.stats.extra.get("parallel", {})
+        rows[workers] = {
+            "wall_s": best,
+            "disk_accesses": result.stats.disk_accesses,
+            "tasks": parallel.get("tasks"),
+            "tasks_completed": parallel.get("tasks_completed"),
+        }
+    serial = rows[1]["wall_s"]
+    for row in rows.values():
+        row["speedup"] = serial / row["wall_s"]
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="worker scaling of the partitioned K-CPQ executor "
+                    "on an I/O-latency-simulated SEQUOIA workload",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller dataset and fewer repeats (CI)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="points per tree (default 40000, quick 8000)")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--read-latency-us", type=float, default=400.0,
+                        help="simulated page-read latency, microseconds "
+                             "(between SSD and spinning-disk seek cost)")
+    parser.add_argument("--partition-depth", type=int, default=2,
+                        choices=(1, 2))
+    parser.add_argument("--max-ratio", type=float, default=0.9,
+                        help="fail (exit 1) if 4-worker wall exceeds "
+                             "this fraction of serial (default 0.9)")
+    parser.add_argument("--json", default=None,
+                        help="also write the numbers as JSON here")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (8_000 if args.quick else 40_000)
+    repeats = 2 if args.quick else 3
+    latency = args.read_latency_us / 1e6
+
+    rows = run(n, args.k, latency, args.partition_depth, repeats)
+
+    print(f"parallel K-CPQ scaling: HEAP, sequoia-like n={n} per tree, "
+          f"k={args.k}, depth={args.partition_depth}, "
+          f"read latency {args.read_latency_us:g}us, best of {repeats}")
+    print()
+    print("| workers | wall (ms) | speedup | disk accesses | tasks run |")
+    print("|--------:|----------:|--------:|--------------:|----------:|")
+    for workers, row in rows.items():
+        tasks = (f"{row['tasks_completed']}/{row['tasks']}"
+                 if row["tasks"] is not None else "-")
+        print(f"| {workers} | {row['wall_s'] * 1e3:.1f} "
+              f"| {row['speedup']:.2f}x | {row['disk_accesses']} "
+              f"| {tasks} |")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(rows, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    ratio = rows[4]["wall_s"] / rows[1]["wall_s"]
+    if ratio > args.max_ratio:
+        print(f"FAIL: 4-worker wall is {ratio:.2f}x serial "
+              f"(> {args.max_ratio:g})", file=sys.stderr)
+        return 1
+    print(f"OK: 4 workers at {ratio:.2f}x serial wall "
+          f"(gate {args.max_ratio:g}, speedup {rows[4]['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

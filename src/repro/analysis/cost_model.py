@@ -368,3 +368,45 @@ def estimate_cpq_accesses(
         )
         total += 2.0 * lp.node_count * lq.node_count * px * py
     return total
+
+
+def estimate_parallel_speedup(
+    accesses: float,
+    workers: int,
+    partition_accesses: float = 8.0,
+) -> float:
+    """Amdahl-style speedup estimate for the partitioned executor.
+
+    The parallel executor (:mod:`repro.core.parallel`) expands both
+    roots serially to build its task list -- roughly
+    ``partition_accesses`` node reads that no worker count can hide --
+    and splits the remaining traversal across ``workers``.  The model
+    ignores bound-sharing losses (workers start from the partitioning
+    bound, so duplicated work is limited to the refresh interval) and
+    buffer-lock contention; treat the result as an upper bound used for
+    go/no-go decisions, not a latency prediction.
+
+    Parameters
+    ----------
+    accesses:
+        Predicted total disk accesses of the serial execution
+        (:func:`estimate_cpq_accesses`).
+    workers:
+        Worker count being considered (>= 1).
+    partition_accesses:
+        Serial node reads spent building the task list (the 1-2 level
+        frontier expansion of both roots).
+
+    Returns
+    -------
+    float
+        Estimated wall-clock speedup factor (>= 1.0 when the serial
+        fraction dominates nothing; == 1.0 for one worker).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or accesses <= 0:
+        return 1.0
+    serial = min(partition_accesses, accesses)
+    parallel = max(accesses - serial, 0.0)
+    return accesses / (serial + parallel / workers)

@@ -107,6 +107,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         buffer_pages=args.buffer,
         use_vectorized=not args.scalar,
+        workers=args.workers,
     )
     result = k_closest_pairs(tree_p, tree_q, request=request)
     for rank, pair in enumerate(result.pairs, start=1):
@@ -116,6 +117,13 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"accesses, {result.stats.node_pairs_visited} node pairs, "
         f"{result.stats.distance_computations} distance computations"
     )
+    parallel = result.stats.extra.get("parallel")
+    if parallel:
+        print(
+            f"# parallel: {parallel['workers']} workers, "
+            f"{parallel['tasks_completed']}/{parallel['tasks']} tasks "
+            f"({parallel['tasks_skipped']} pruned)"
+        )
     return 0
 
 
@@ -152,7 +160,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
             tree_p,
             tree_q,
             request=CPQRequest(
-                k=args.k, algorithm=algorithm, buffer_pages=args.buffer
+                k=args.k, algorithm=algorithm, buffer_pages=args.buffer,
+                workers=args.workers,
             ),
             tracer=tracer,
         )
@@ -304,6 +313,7 @@ def _make_service(args: argparse.Namespace):
         cache_size=args.cache_size,
         default_deadline_ms=args.deadline_ms,
         tracer=Tracer() if args.trace else None,
+        max_query_workers=getattr(args, "parallel", 1),
     )
     service.register_pair(args.pair, tree_p, tree_q)
     return service
@@ -342,7 +352,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             for line in lines
             if line.strip()
         ]
-        responses = service.run_batch(requests)
+        handles = service.submit_batch(requests)
+        responses = [handle.result() for handle in handles]
         sink = open(args.out, "w") if args.out else sys.stdout
         try:
             for response in responses:
@@ -452,6 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scalar", action="store_true",
                        help="use the scalar (non-vectorized) expansion "
                             "path; results are identical")
+    query.add_argument("--workers", type=int, default=1,
+                       help="intra-query worker threads (partitioned "
+                            "executor); results are byte-identical")
     query.set_defaults(func=cmd_query)
 
     explain = sub.add_parser(
@@ -471,6 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the spans as JSONL here")
     explain.add_argument("--no-times", action="store_true",
                          help="omit durations (deterministic output)")
+    explain.add_argument("--workers", type=int, default=1,
+                         help="intra-query worker threads; the trace "
+                              "gains per-worker summary spans")
     explain.set_defaults(func=cmd_explain)
 
     knn = sub.add_parser("knn", help="k nearest neighbours of a point")
@@ -529,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL request file, or - for stdin")
     batch.add_argument("--out", default=None,
                        help="write JSONL responses here (default stdout)")
+    batch.add_argument("--parallel", type=int, default=1,
+                       help="intra-query worker threads per CPQ "
+                            "(max_query_workers; auto requests let the "
+                            "planner decide within this budget)")
     batch.set_defaults(func=cmd_batch)
 
     serve = sub.add_parser(

@@ -20,6 +20,7 @@ point sets (Section 3 of the paper):
 from repro.core.api import (
     ALGORITHM_REGISTRY,
     ALGORITHMS,
+    CORE_ALGORITHMS,
     PLANNABLE_ALGORITHMS,
     AlgorithmSpec,
     CPQRequest,
@@ -29,16 +30,19 @@ from repro.core.api import (
 )
 from repro.core.height import FIX_AT_LEAVES, FIX_AT_ROOT
 from repro.core.kheap import KHeap
+from repro.core.parallel import parallel_k_closest_pairs
 from repro.core.result import ClosestPair, CPQResult
 from repro.core.ties import TIE_CRITERIA, TieCriterion
 
 __all__ = [
     "k_closest_pairs",
     "closest_pair",
+    "parallel_k_closest_pairs",
     "CPQRequest",
     "AlgorithmSpec",
     "ALGORITHM_REGISTRY",
     "ALGORITHMS",
+    "CORE_ALGORITHMS",
     "PLANNABLE_ALGORITHMS",
     "DeadlineExceeded",
     "ClosestPair",

@@ -29,14 +29,20 @@ Example
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.core.engine import CPQContext
+from repro.core.engine import CPQContext, traced_traversal
 from repro.core.exhaustive import exhaustive
 from repro.core.heap import heap_algorithm
 from repro.core.height import FIX_AT_ROOT, validate_strategy
 from repro.core.naive import naive
+from repro.core.parallel import (
+    PARALLEL_MODES,
+    PARTITION_DEPTHS,
+    parallel_k_closest_pairs,
+)
 from repro.core.result import ClosestPair, CPQResult
 from repro.core.simple import simple
 from repro.core.sorted_distances import sorted_distances
@@ -69,6 +75,15 @@ class AlgorithmSpec:
     vectorized kernel path, and whether the cost-model planner may
     select it (NAIVE is correct but exponentially expensive, so it is
     registered as not plannable).
+
+    ``supports_parallel`` marks algorithms the partitioned executor
+    (:mod:`repro.core.parallel`) can run with ``workers > 1``.  The
+    query-shape flags describe the extension families of Section 6:
+    ``self_join`` (P = Q, pass the same tree as both sides), ``semi``
+    (all-nearest-neighbour join; reports one pair per P point and
+    ignores ``k``), ``multiway`` (aggregate-distance tuples; the
+    two-tree registry entry runs the m = 2 chain, equivalent to a
+    K-CPQ), and ``incremental`` (Hjaltason & Samet distance join).
     """
 
     name: str
@@ -78,6 +93,11 @@ class AlgorithmSpec:
     supports_deadline: bool = True
     supports_vectorized: bool = True
     plannable: bool = True
+    supports_parallel: bool = False
+    self_join: bool = False
+    semi: bool = False
+    multiway: bool = False
+    incremental: bool = False
     runner: Optional[Callable[..., CPQResult]] = field(
         default=None, repr=False, compare=False
     )
@@ -120,6 +140,75 @@ def _run_heap(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
     )
 
 
+def _run_self(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    from repro.extensions.self_cpq import self_k_closest_pairs
+
+    if ctx.tree_p is not ctx.tree_q:
+        raise ValueError(
+            "algorithm 'self' joins a tree with itself; pass the same "
+            "tree as both sides"
+        )
+    with traced_traversal(ctx, "SELF-HEAP"):
+        result = self_k_closest_pairs(
+            ctx.tree_p, request.k, request.metric, reset_stats=False
+        )
+        # Adopt the extension's counters so the traverse span's exit
+        # annotations describe this query, not the unused context.
+        ctx.stats = result.stats
+    return result
+
+
+def _run_semi(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    from repro.extensions.semi_cpq import semi_closest_pairs
+
+    with traced_traversal(ctx, "SEMI"):
+        result = semi_closest_pairs(
+            ctx.tree_p, ctx.tree_q, request.metric, reset_stats=False
+        )
+        ctx.stats = result.stats
+    return result
+
+
+def _run_multiway(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    from repro.extensions.multiway import multiway_closest_tuples
+
+    with traced_traversal(ctx, "MULTIWAY"):
+        mw = multiway_closest_tuples(
+            [ctx.tree_p, ctx.tree_q],
+            request.k,
+            "chain",
+            request.metric,
+            reset_stats=False,
+        )
+        # An m = 2 chain aggregates exactly one edge, so each result
+        # tuple is an ordinary closest pair.
+        pairs = [
+            ClosestPair(t.distance, t.points[0], t.points[1],
+                        t.oids[0], t.oids[1])
+            for t in mw.tuples
+        ]
+        ctx.stats = mw.stats
+    return CPQResult(
+        pairs=pairs, stats=mw.stats, algorithm="MULTIWAY", k=request.k
+    )
+
+
+def _run_incremental(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    from repro.incremental.distance_join import incremental_join_request
+
+    with traced_traversal(ctx, "INC"):
+        # Buffer sizing and stats reset already happened in
+        # k_closest_pairs; a second reset here would corrupt the
+        # tracer's I/O delta baselines.
+        result = incremental_join_request(
+            ctx.tree_p,
+            ctx.tree_q,
+            replace(request, buffer_pages=None, reset_stats=False),
+        )
+        ctx.stats = result.stats
+    return result
+
+
 #: The single source of truth for available algorithms.  CLI choices,
 #: planner candidates, and request validation all derive from it.
 ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
@@ -130,31 +219,80 @@ ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
             label="NAIVE",
             description="recursive, no pruning (ground truth baseline)",
             plannable=False,
+            supports_parallel=True,
             runner=_run_naive,
         ),
         AlgorithmSpec(
             name="exh",
             label="EXH",
             description="prunes by MINMINDIST against T (Section 3.2)",
+            supports_parallel=True,
             runner=_run_exh,
         ),
         AlgorithmSpec(
             name="sim",
             label="SIM",
             description="EXH + early T from MINMAXDIST (Section 3.3)",
+            supports_parallel=True,
             runner=_run_sim,
         ),
         AlgorithmSpec(
             name="std",
             label="STD",
             description="SIM + ascending MINMINDIST order (Section 3.4)",
+            supports_parallel=True,
             runner=_run_std,
         ),
         AlgorithmSpec(
             name="heap",
             label="HEAP",
             description="global min-heap instead of recursion (Section 3.5)",
+            supports_parallel=True,
             runner=_run_heap,
+        ),
+        AlgorithmSpec(
+            name="self",
+            label="SELF-HEAP",
+            description="K closest pairs within one set (Section 6); "
+                        "pass the same tree as both sides",
+            supports_deadline=False,
+            supports_vectorized=False,
+            plannable=False,
+            self_join=True,
+            runner=_run_self,
+        ),
+        AlgorithmSpec(
+            name="semi",
+            label="SEMI",
+            description="all-nearest-neighbour join (Section 6); one "
+                        "pair per P point, k ignored",
+            supports_deadline=False,
+            supports_vectorized=False,
+            plannable=False,
+            semi=True,
+            runner=_run_semi,
+        ),
+        AlgorithmSpec(
+            name="multiway",
+            label="MULTIWAY",
+            description="m=2 chain of the multi-way engine (Section 6 "
+                        "future work (a)); equivalent to a K-CPQ",
+            supports_deadline=False,
+            supports_vectorized=False,
+            plannable=False,
+            multiway=True,
+            runner=_run_multiway,
+        ),
+        AlgorithmSpec(
+            name="incremental",
+            label="INC",
+            description="Hjaltason & Samet incremental distance join, "
+                        "K-bounded (SML policy)",
+            supports_deadline=False,
+            supports_vectorized=False,
+            plannable=False,
+            incremental=True,
+            runner=_run_incremental,
         ),
     )
 }
@@ -163,6 +301,16 @@ ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
 #: :func:`k_closest_pairs` (kept for backwards compatibility -- derive
 #: capability answers from :data:`ALGORITHM_REGISTRY`).
 ALGORITHMS: Tuple[str, ...] = tuple(ALGORITHM_REGISTRY)
+
+#: The five two-tree branch-and-bound K-CPQ algorithms from the paper;
+#: the subset of :data:`ALGORITHMS` that answers an ordinary pairwise
+#: query over two distinct trees (extension query types -- self join,
+#: semi join, multiway, incremental -- are excluded).
+CORE_ALGORITHMS: Tuple[str, ...] = tuple(
+    name
+    for name, spec in ALGORITHM_REGISTRY.items()
+    if not (spec.self_join or spec.semi or spec.multiway or spec.incremental)
+)
 
 #: Names the cost-model planner may choose between.
 PLANNABLE_ALGORITHMS: Tuple[str, ...] = tuple(
@@ -188,6 +336,14 @@ class CPQRequest:
     cancellation probe) stay arguments of :func:`k_closest_pairs`; the
     request describes *what* to compute, plus the ``deadline_ms`` /
     ``trace`` conveniences for callers without a service around them.
+
+    ``workers`` > 1 routes algorithms with ``supports_parallel``
+    through the partitioned executor (:mod:`repro.core.parallel`):
+    ``partition_depth`` levels of root expansion feed ``workers``
+    threads (or spawned processes with ``parallel_mode="process"``,
+    which requires file-backed trees).  These are execution-only knobs
+    -- the result is byte-identical to serial -- so they are excluded
+    from :meth:`cache_key`.
     """
 
     k: int = 1
@@ -201,6 +357,9 @@ class CPQRequest:
     deadline_ms: Optional[float] = None
     trace: bool = False
     reset_stats: bool = True
+    workers: int = 1
+    partition_depth: int = 1
+    parallel_mode: str = "thread"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithm", str(self.algorithm).lower())
@@ -215,6 +374,17 @@ class CPQRequest:
             raise ValueError("buffer_pages must be >= 0")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError("deadline_ms must be > 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.partition_depth not in PARTITION_DEPTHS:
+            raise ValueError(
+                f"partition_depth must be one of {PARTITION_DEPTHS}"
+            )
+        if self.parallel_mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel_mode {self.parallel_mode!r}; "
+                f"expected one of {PARALLEL_MODES}"
+            )
         validate_strategy(self.height_strategy)
         if self.tie_break is not None:
             object.__setattr__(self, "tie_break", TieBreak.parse(self.tie_break))
@@ -229,9 +399,11 @@ class CPQRequest:
 
         Two requests with equal keys return identical pairs on the same
         tree generations: fields that only change *how* the answer is
-        computed (buffers, deadline, tracing, stats) are excluded;
-        ``use_vectorized`` is excluded too because the scalar path is
-        bit-identical by construction (and tested to be).
+        computed (buffers, deadline, tracing, stats, and the parallel
+        execution knobs ``workers`` / ``partition_depth`` /
+        ``parallel_mode``) are excluded; ``use_vectorized`` is excluded
+        too because the scalar path is bit-identical by construction
+        (and tested to be).
         """
         return (
             self.k,
@@ -347,6 +519,13 @@ def k_closest_pairs(
         ``max_queue_size`` and ``queue_inserts`` (Section 3.9).
     """
     if request is None:
+        warnings.warn(
+            "calling k_closest_pairs with individual query keywords is "
+            "deprecated; build a CPQRequest and pass request=... "
+            "(the keyword shim will be removed -- see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         request = CPQRequest(
             k=k,
             algorithm=algorithm,
@@ -374,15 +553,24 @@ def k_closest_pairs(
 
         local_tracer = tracer = Tracer()
 
-    ctx = CPQContext(
-        tree_p,
-        tree_q,
-        request.k,
-        request.metric,
-        cancel_check=cancel_check,
-        tracer=tracer,
-    )
-    result = request.spec.runner(ctx, request)
+    if request.workers > 1 and request.spec.supports_parallel:
+        result = parallel_k_closest_pairs(
+            tree_p,
+            tree_q,
+            request,
+            cancel_check=cancel_check,
+            tracer=tracer,
+        )
+    else:
+        ctx = CPQContext(
+            tree_p,
+            tree_q,
+            request.k,
+            request.metric,
+            cancel_check=cancel_check,
+            tracer=tracer,
+        )
+        result = request.spec.runner(ctx, request)
     if local_tracer is not None:
         traces = local_tracer.pop_traces()
         result.trace = traces[-1] if traces else None
@@ -415,5 +603,11 @@ def closest_pair(
         The minimum-distance pair (distance in workspace units), or
         ``None`` when ``|P| * |Q| == 0``.
     """
-    result = k_closest_pairs(tree_p, tree_q, k=1, algorithm=algorithm, **kwargs)
+    tracer = kwargs.pop("tracer", None)
+    cancel_check = kwargs.pop("cancel_check", None)
+    request = CPQRequest(k=1, algorithm=algorithm, **kwargs)
+    result = k_closest_pairs(
+        tree_p, tree_q, request=request,
+        cancel_check=cancel_check, tracer=tracer,
+    )
     return result.pairs[0] if result.pairs else None

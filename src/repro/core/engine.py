@@ -95,6 +95,8 @@ class CPQContext:
         metric: MinkowskiMetric = EUCLIDEAN,
         cancel_check: Optional[Callable[[], None]] = None,
         tracer=None,
+        roots=None,
+        root_areas=None,
     ):
         if tree_p.dimension != tree_q.dimension:
             raise ValueError("trees index points of different dimensions")
@@ -126,10 +128,24 @@ class CPQContext:
         self.stats = QueryStats()
         # Read each root exactly once; algorithms reuse these handles so
         # context construction plus execution costs two root I/Os total.
-        self.root_p = tree_p.read_root()
-        self.root_q = tree_q.read_root()
-        self.root_area_p = self.root_p.mbr().area() if self.root_p else 1.0
-        self.root_area_q = self.root_q.mbr().area() if self.root_q else 1.0
+        # ``roots`` lets the parallel executor point worker contexts at
+        # already-read nodes (partition roots) without re-paying the
+        # root I/O; ``root_areas`` then pins the tie-key normalisation
+        # areas to the *tree* roots so tie keys match the serial path.
+        if roots is not None:
+            self.root_p, self.root_q = roots
+        else:
+            self.root_p = tree_p.read_root()
+            self.root_q = tree_q.read_root()
+        if root_areas is not None:
+            self.root_area_p, self.root_area_q = root_areas
+        else:
+            self.root_area_p = (
+                self.root_p.mbr().area() if self.root_p else 1.0
+            )
+            self.root_area_q = (
+                self.root_q.mbr().area() if self.root_q else 1.0
+            )
 
     @property
     def t(self) -> float:

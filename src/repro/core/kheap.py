@@ -5,33 +5,56 @@ organized as a max heap (called K-heap) and holds pairs of points
 according to their distance.  The pair of points with the largest
 distance resides on top."  Once full, its top distance is the pruning
 bound ``T``; a newly discovered pair replaces the top only if closer.
+
+Tie-breaking is *canonical*: pairs are compared by the full
+:class:`~repro.core.result.ClosestPair` total order (distance, then
+point coordinates, then object ids), not by discovery order.  The
+retained set is therefore exactly the K smallest pairs in that total
+order among all pairs ever offered -- a pure function of the offered
+*set*, independent of offer order.  This is what makes the parallel
+executor (:mod:`repro.core.parallel`) byte-identical to the serial
+path: any traversal that offers every pair within the final bound
+yields the same K-heap content, including tie order.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 from repro.core.result import ClosestPair
+
+
+class _MaxItem:
+    """Inverts :class:`ClosestPair` ordering so heapq acts as a max-heap."""
+
+    __slots__ = ("pair",)
+
+    def __init__(self, pair: ClosestPair):
+        self.pair = pair
+
+    def __lt__(self, other: "_MaxItem") -> bool:
+        return other.pair < self.pair
 
 
 class KHeap:
     """Bounded max-heap of the best (smallest-distance) K pairs.
 
-    Implemented over :mod:`heapq` (a min-heap) with negated distances.
-    A monotonically increasing sequence number breaks distance ties so
-    heap items never compare payloads.
+    Implemented over :mod:`heapq` (a min-heap) with inverted-comparison
+    items.  The heap top is the *canonically largest* retained pair;
+    once full, an offered pair enters only when it is canonically
+    smaller than the top, so equal-distance ties resolve by the pair's
+    own total order rather than by arrival order.
     """
 
-    __slots__ = ("k", "_heap", "_seq")
+    __slots__ = ("k", "_heap")
 
     def __init__(self, k: int):
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
-        self._heap: List[Tuple[float, int, ClosestPair]] = []
-        self._seq = 0
+        self._heap: List[_MaxItem] = []
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -49,23 +72,21 @@ class KHeap:
         """
         if not self.full:
             return math.inf
-        return -self._heap[0][0]
+        return self._heap[0].pair.distance
 
     def offer(self, pair: ClosestPair) -> bool:
         """Consider a pair; returns True when it entered the heap."""
         if not self.full:
-            self._seq += 1
-            heapq.heappush(self._heap, (-pair.distance, self._seq, pair))
+            heapq.heappush(self._heap, _MaxItem(pair))
             return True
-        if pair.distance < self.threshold:
-            self._seq += 1
-            heapq.heapreplace(self._heap, (-pair.distance, self._seq, pair))
+        if pair < self._heap[0].pair:
+            heapq.heapreplace(self._heap, _MaxItem(pair))
             return True
         return False
 
     def sorted_pairs(self) -> List[ClosestPair]:
-        """The held pairs in ascending distance order."""
-        return sorted(pair for __, __, pair in self._heap)
+        """The held pairs in ascending canonical order."""
+        return sorted(item.pair for item in self._heap)
 
     def __iter__(self) -> Iterator[ClosestPair]:
-        return (pair for __, __, pair in self._heap)
+        return (item.pair for item in self._heap)

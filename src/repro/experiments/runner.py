@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.api import k_closest_pairs
+from repro.core.api import CPQRequest, k_closest_pairs
 from repro.core.result import CPQResult
 from repro.core.ties import TieBreak
 from repro.incremental.distance_join import k_distance_join
@@ -26,19 +26,20 @@ def run_cpq(
     buffer_pages: int = 0,
     height_strategy: str = "fix-at-root",
     tie_break: Optional[object] = None,
+    workers: int = 1,
 ) -> CPQResult:
     """One cold-cache CPQ execution with a total LRU budget of
     ``buffer_pages`` (split B/2 per tree, as in Section 4.3.3)."""
-    return k_closest_pairs(
-        tree_p,
-        tree_q,
+    request = CPQRequest(
         k=k,
         algorithm=algorithm,
         height_strategy=height_strategy,
         tie_break=TieBreak.parse(tie_break) if tie_break is not None else None,
         buffer_pages=buffer_pages,
         reset_stats=True,
+        workers=workers,
     )
+    return k_closest_pairs(tree_p, tree_q, request=request)
 
 
 def run_incremental(

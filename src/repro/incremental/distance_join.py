@@ -25,6 +25,7 @@ are skipped.  After this the join is "incremental up to K, only".
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 from typing import Iterator, List, Optional, Tuple
 
@@ -84,6 +85,27 @@ def incremental_distance_join(
         stats = QueryStats()
     if tree_p.root_id is None or tree_q.root_id is None:
         return
+
+    # I/O is accounted as deltas against snapshots taken at generator
+    # start, so iterating never mutates the trees' own counters --
+    # essential when the trees are shared with concurrent queries (the
+    # service engine attributes I/O per query from the same counters).
+    base_p = tree_p.stats.snapshot()
+    base_q = tree_q.stats.snapshot()
+
+    def _sync() -> None:
+        nonlocal base_p, base_q
+        cur_p = tree_p.stats.snapshot()
+        cur_q = tree_q.stats.snapshot()
+        stats.disk_accesses += (
+            (cur_p.disk_reads - base_p.disk_reads)
+            + (cur_q.disk_reads - base_q.disk_reads)
+        )
+        stats.buffer_hits += (
+            (cur_p.buffer_hits - base_p.buffer_hits)
+            + (cur_q.buffer_hits - base_q.buffer_hits)
+        )
+        base_p, base_q = cur_p, cur_q
 
     tie_sign = 1 if tie_policy == DEPTH_FIRST else -1
     bound_heap = KHeap(k_bound) if k_bound is not None else None
@@ -174,9 +196,7 @@ def incremental_distance_join(
         if distance > threshold():
             break
         if is_object(side_p) and is_object(side_q):
-            stats.merge_io(tree_p.stats, tree_q.stats)
-            tree_p.stats.reset()
-            tree_q.stats.reset()
+            _sync()
             yield ClosestPair(
                 distance, side_p.point, side_q.point,
                 side_p.oid, side_q.oid,
@@ -186,9 +206,7 @@ def incremental_distance_join(
                 return
             continue
         expand(side_p, side_q)
-    stats.merge_io(tree_p.stats, tree_q.stats)
-    tree_p.stats.reset()
-    tree_q.stats.reset()
+    _sync()
 
 
 def k_distance_join(
@@ -228,3 +246,49 @@ def k_distance_join(
         )
     )
     return CPQResult(pairs=pairs, stats=stats, algorithm=policy.upper(), k=k)
+
+
+def incremental_join_request(
+    tree_p: RTree,
+    tree_q: RTree,
+    request,
+    *,
+    continuation: bool = False,
+) -> CPQResult:
+    """Run the incremental distance join for a :class:`CPQRequest`.
+
+    The ``CPQRequest``-native entry point registered as algorithm
+    ``"incremental"`` in :data:`repro.core.api.ALGORITHM_REGISTRY`.
+    Honours the request's ``k``, ``metric``, ``buffer_pages`` and
+    ``reset_stats`` fields; the traversal policy is always SML (the
+    paper's best, Section 5.2) and the result's ``algorithm`` label is
+    ``"INC-SML"``.
+
+    With ``continuation=True`` the K-bounding optimisation is disabled
+    and the live generator is attached as ``result.incremental``:
+    consuming it yields the (K+1)-th, (K+2)-th, ... pairs lazily,
+    accumulating I/O into the same ``result.stats`` object.
+    """
+    if request.buffer_pages is not None:
+        tree_p.file.set_buffer_capacity(request.buffer_pages // 2)
+        tree_q.file.set_buffer_capacity(request.buffer_pages // 2)
+    if request.reset_stats:
+        tree_p.file.reset_for_query()
+        tree_q.file.reset_for_query()
+    stats = QueryStats()
+    gen = incremental_distance_join(
+        tree_p,
+        tree_q,
+        policy=SIMULTANEOUS,
+        metric=request.metric,
+        k_bound=None if continuation else request.k,
+        stats=stats,
+    )
+    pairs = list(itertools.islice(gen, request.k))
+    return CPQResult(
+        pairs=pairs,
+        stats=stats,
+        algorithm="INC-SML",
+        k=request.k,
+        incremental=gen if continuation else None,
+    )

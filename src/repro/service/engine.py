@@ -108,14 +108,25 @@ class CPQRequest:
     tie_break: Optional[object] = None
     maxmax_pruning: bool = True
     use_vectorized: bool = True
+    #: Intra-query worker threads.  ``0`` (the default) is *auto*: the
+    #: planner decides whether parallelism pays, within the service's
+    #: ``max_query_workers`` budget.  Any value >= 1 forces exactly
+    #: that many workers (still capped by ``max_query_workers``).
+    #: Execution-only -- does not participate in the cache key.
+    workers: int = 0
 
-    def to_query(self, algorithm: Optional[str] = None) -> core_api.CPQRequest:
+    def to_query(self, algorithm: Optional[str] = None,
+                 workers: Optional[int] = None) -> core_api.CPQRequest:
         """The core query this request describes.
 
-        ``algorithm`` substitutes the planner's choice for ``"auto"``.
-        ``reset_stats`` is always off: the service accounts I/O itself
-        and keeps buffers warm across requests.
+        ``algorithm`` substitutes the planner's choice for ``"auto"``;
+        ``workers`` the resolved intra-query worker count for the
+        ``0`` = auto default.  ``reset_stats`` is always off: the
+        service accounts I/O itself and keeps buffers warm across
+        requests.
         """
+        if workers is None:
+            workers = max(1, self.workers)
         return core_api.CPQRequest(
             k=self.k,
             algorithm=algorithm if algorithm is not None else self.algorithm,
@@ -124,6 +135,7 @@ class CPQRequest:
             maxmax_pruning=self.maxmax_pruning,
             use_vectorized=self.use_vectorized,
             reset_stats=False,
+            workers=max(1, workers),
         )
 
     def cache_params(self) -> Tuple:
@@ -214,6 +226,10 @@ class PendingQuery:
         self.request = request
         self.deadline = deadline
         self.admitted_at = time.monotonic()
+        #: A :class:`PlanDecision` computed ahead of execution by
+        #: :meth:`QueryService.submit_batch`, so a batch of "auto"
+        #: queries against one pair plans once, not once per query.
+        self.preplanned: Optional[PlanDecision] = None
         self._event = threading.Event()
         self._response: Optional[QueryResponse] = None
 
@@ -284,6 +300,12 @@ class QueryService:
         ``heap`` / ``io.p`` / ``io.q``) and fold per-span rollups into
         the metrics snapshot.  ``None`` (the default) disables tracing
         with zero hot-path cost.
+    max_query_workers:
+        Budget for *intra-query* parallelism: the largest worker count
+        the partitioned executor (:mod:`repro.core.parallel`) may use
+        for one CPQ.  ``1`` (the default) keeps queries serial;
+        requests with ``workers=0`` (auto) let the planner decide
+        within this budget, explicit ``workers>=1`` are capped by it.
     """
 
     def __init__(
@@ -295,12 +317,19 @@ class QueryService:
         planner: Optional[Planner] = None,
         metrics: Optional[ServiceMetrics] = None,
         tracer=None,
+        max_query_workers: int = 1,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if max_query_workers < 1:
+            raise ValueError("max_query_workers must be >= 1")
         self.default_deadline_ms = default_deadline_ms
+        #: Cap on *intra-query* parallelism (the partitioned executor's
+        #: worker threads), independent of the ``workers`` pool that
+        #: runs whole queries.  1 keeps every query serial.
+        self.max_query_workers = max_query_workers
         self.planner = planner if planner is not None else Planner()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -346,12 +375,16 @@ class QueryService:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, request: Request) -> PendingQuery:
+    def submit(self, request: Request,
+               _preplanned: Optional[PlanDecision] = None) -> PendingQuery:
         """Admit a request; never blocks and never raises for load.
 
         Returns a handle whose :meth:`PendingQuery.result` yields the
         structured response -- immediately resolved as ``rejected``
-        when the service is saturated or closed.
+        when the service is saturated or closed.  ``_preplanned`` is
+        :meth:`submit_batch`'s channel for a shared plan decision; it
+        must be installed before enqueueing (a pool worker may pick the
+        query up immediately).
         """
         deadline_ms = (
             request.deadline_ms
@@ -364,6 +397,7 @@ class QueryService:
             else None
         )
         pending = PendingQuery(request, deadline)
+        pending.preplanned = _preplanned
         self.metrics.record_submitted()
         if self._closed:
             self._finish(pending, QueryResponse(
@@ -406,6 +440,63 @@ class QueryService:
         """
         handles = [self.submit(request) for request in requests]
         return [handle.result(timeout) for handle in handles]
+
+    def submit_batch(
+        self, requests: Sequence[Request]
+    ) -> List[PendingQuery]:
+        """Admit a batch with amortised planning and shared warmup.
+
+        Per-query work that repeats across a homogeneous batch is
+        hoisted out of the worker pool:
+
+        * **Planning** -- ``algorithm="auto"`` CPQ requests against the
+          same pair with the same ``k`` share one
+          :class:`~repro.service.planner.PlanDecision` (decisions are
+          deterministic per tree generation, so re-planning per query
+          only costs time).  Each execution still tallies its applied
+          decision in the metrics.
+        * **Buffer warmup** -- both roots of every addressed pair are
+          read once before admission, so the pool's first wave of
+          workers hits a warm buffer instead of racing duplicate
+          root faults.
+
+        Returns the handles in request order; collect results with
+        ``[h.result() for h in handles]``.  Admission semantics match
+        :meth:`submit` (rejected-on-full, never blocks).
+        """
+        plans: Dict[Tuple[str, int, int], PlanDecision] = {}
+        warmed = set()
+        for request in requests:
+            with self._pairs_lock:
+                pair = self._pairs.get(request.pair)
+            if pair is None:
+                continue  # submit() resolves it as an error response
+            self._refresh_pair(pair)
+            if pair.name not in warmed:
+                warmed.add(pair.name)
+                for tree in (pair.tree_p, pair.tree_q):
+                    if tree.root_id is not None:
+                        tree.read_node(tree.root_id)
+            if request.kind != "cpq" or request.algorithm != "auto":
+                continue
+            budget = (self.max_query_workers
+                      if request.workers == 0 else 1)
+            key = (pair.name, request.k, budget)
+            if key not in plans:
+                shape_p, shape_q = self._shapes(pair)
+                plans[key] = self.planner.plan(
+                    shape_p, shape_q, pair.buffer_pages(), k=request.k,
+                    tracer=self.tracer, workers=budget,
+                )
+        handles = []
+        for request in requests:
+            preplanned = None
+            if request.kind == "cpq" and request.algorithm == "auto":
+                budget = (self.max_query_workers
+                          if request.workers == 0 else 1)
+                preplanned = plans.get((request.pair, request.k, budget))
+            handles.append(self.submit(request, _preplanned=preplanned))
+        return handles
 
     # -- observability -----------------------------------------------------
 
@@ -476,7 +567,8 @@ class QueryService:
         request = pending.request
         try:
             self._check_deadline(pending.deadline)
-            return self._execute(request, pending.deadline)
+            return self._execute(request, pending.deadline,
+                                 preplanned=pending.preplanned)
         except DeadlineExceeded:
             return QueryResponse(
                 status=STATUS_DEADLINE, kind=request.kind,
@@ -501,6 +593,7 @@ class QueryService:
             cached=response.cached,
             disk_reads=response.disk_reads,
             buffer_hits=response.buffer_hits,
+            algorithm=response.algorithm,
         )
         pending._resolve(response)
 
@@ -523,7 +616,8 @@ class QueryService:
         return probe
 
     def _execute(
-        self, request: Request, deadline: Optional[float]
+        self, request: Request, deadline: Optional[float],
+        preplanned: Optional[PlanDecision] = None,
     ) -> QueryResponse:
         with self._pairs_lock:
             pair = self._pairs.get(request.pair)
@@ -554,7 +648,9 @@ class QueryService:
         before_p = pair.tree_p.stats.snapshot()
         before_q = pair.tree_q.stats.snapshot()
         if request.kind == "cpq":
-            result, algorithm, plan = self._run_cpq(pair, request, deadline)
+            result, algorithm, plan = self._run_cpq(
+                pair, request, deadline, preplanned
+            )
         elif request.kind == "knn":
             result, algorithm, plan = self._run_knn(pair, request, deadline)
         else:
@@ -585,14 +681,20 @@ class QueryService:
         pair: _RegisteredPair,
         request: CPQRequest,
         deadline: Optional[float],
+        preplanned: Optional[PlanDecision] = None,
     ):
         plan = None
         if request.algorithm == "auto":
-            shape_p, shape_q = self._shapes(pair)
-            plan = self.planner.plan(
-                shape_p, shape_q, pair.buffer_pages(), k=request.k,
-                tracer=self.tracer,
-            )
+            if preplanned is not None:
+                plan = preplanned
+            else:
+                shape_p, shape_q = self._shapes(pair)
+                plan = self.planner.plan(
+                    shape_p, shape_q, pair.buffer_pages(), k=request.k,
+                    tracer=self.tracer,
+                    workers=(self.max_query_workers
+                             if request.workers == 0 else 1),
+                )
             algorithm = plan.algorithm
             self.metrics.record_planner_decision(algorithm)
         elif request.algorithm in ALGORITHM_REGISTRY:
@@ -602,10 +704,16 @@ class QueryService:
                 f"unknown algorithm {request.algorithm!r}; expected "
                 f"'auto' or one of {ALGORITHMS}"
             )
+        if request.workers > 0:
+            workers = min(request.workers, self.max_query_workers)
+        elif plan is not None:
+            workers = min(plan.workers, self.max_query_workers)
+        else:
+            workers = 1
         result = k_closest_pairs(
             pair.tree_p,
             pair.tree_q,
-            request=request.to_query(algorithm),
+            request=request.to_query(algorithm, workers=workers),
             cancel_check=self._deadline_probe(deadline),
             tracer=self.tracer,
         )

@@ -35,6 +35,11 @@ class ServiceMetrics:
 
     def __init__(self):
         self._lock = threading.Lock()
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        """(Re)initialise every counter; caller holds ``_lock`` (or is
+        ``__init__``, before the instance is shared)."""
         self._statuses: Dict[str, int] = {}
         self._kinds: Dict[str, int] = {}
         self._submitted = 0
@@ -46,6 +51,9 @@ class ServiceMetrics:
         self._latency_min = math.inf
         self._latency_max = 0.0
         self._latency_buckets = [0] * len(LATENCY_BUCKETS_MS)
+        #: Per-algorithm latency summaries: algorithm ->
+        #: [count, total, min, max, bucket list].
+        self._latency_by_algorithm: Dict[str, list] = {}
         self._disk_reads = 0
         self._buffer_hits = 0
         self._queue_depth = 0
@@ -67,8 +75,14 @@ class ServiceMetrics:
         cached: bool = False,
         disk_reads: int = 0,
         buffer_hits: int = 0,
+        algorithm: Optional[str] = None,
     ) -> None:
-        """Record one finished (or rejected) query."""
+        """Record one finished (or rejected) query.
+
+        ``algorithm`` (when known -- CPQ executions, after planning)
+        additionally feeds a per-algorithm latency summary, so operators
+        can compare e.g. HEAP vs STD tail latency on live traffic.
+        """
         with self._lock:
             self._statuses[status] = self._statuses.get(status, 0) + 1
             self._kinds[kind] = self._kinds.get(kind, 0) + 1
@@ -78,12 +92,27 @@ class ServiceMetrics:
             self._latency_total += latency_ms
             self._latency_min = min(self._latency_min, latency_ms)
             self._latency_max = max(self._latency_max, latency_ms)
-            for i, edge in enumerate(LATENCY_BUCKETS_MS):
-                if latency_ms <= edge:
-                    self._latency_buckets[i] += 1
-                    break
+            bucket = self._bucket_index(latency_ms)
+            self._latency_buckets[bucket] += 1
+            if algorithm is not None:
+                summary = self._latency_by_algorithm.setdefault(
+                    algorithm,
+                    [0, 0.0, math.inf, 0.0, [0] * len(LATENCY_BUCKETS_MS)],
+                )
+                summary[0] += 1
+                summary[1] += latency_ms
+                summary[2] = min(summary[2], latency_ms)
+                summary[3] = max(summary[3], latency_ms)
+                summary[4][bucket] += 1
             self._disk_reads += disk_reads
             self._buffer_hits += buffer_hits
+
+    @staticmethod
+    def _bucket_index(latency_ms: float) -> int:
+        for i, edge in enumerate(LATENCY_BUCKETS_MS):
+            if latency_ms <= edge:
+                return i
+        return len(LATENCY_BUCKETS_MS) - 1
 
     def record_cache_miss(self) -> None:
         with self._lock:
@@ -121,16 +150,21 @@ class ServiceMetrics:
         with self._lock:
             return dict(self._planner)
 
-    def snapshot(self, cache_size: Optional[int] = None) -> dict:
-        """A JSON-serialisable view of every metric."""
+    def snapshot(self, cache_size: Optional[int] = None, *,
+                 reset: bool = False) -> dict:
+        """A JSON-serialisable view of every metric.
+
+        With ``reset=True`` the counters are zeroed *atomically* with
+        the read, under the same lock: every recorded query lands in
+        exactly one snapshot window, never two and never none.  The
+        returned dict is always the pre-reset view.  (The process-wide
+        ``KERNEL_STATS`` tallies are shared with non-service callers
+        and are never reset here.)
+        """
         with self._lock:
             hits, misses = self._cache_hits, self._cache_misses
             looked_up = hits + misses
-            buckets = {}
-            for edge, count in zip(LATENCY_BUCKETS_MS,
-                                   self._latency_buckets):
-                label = "+inf" if math.isinf(edge) else f"<={edge:g}ms"
-                buckets[label] = count
+            buckets = self._bucket_dict(self._latency_buckets)
             snapshot = {
                 "queries": {
                     "submitted": self._submitted,
@@ -146,6 +180,18 @@ class ServiceMetrics:
                             if self._latency_count else 0.0),
                     "max": self._latency_max,
                     "buckets": buckets,
+                    "by_algorithm": {
+                        name: {
+                            "count": count,
+                            "total": total,
+                            "mean": total / count if count else 0.0,
+                            "min": lo if count else 0.0,
+                            "max": hi,
+                            "buckets": self._bucket_dict(algo_buckets),
+                        }
+                        for name, (count, total, lo, hi, algo_buckets)
+                        in sorted(self._latency_by_algorithm.items())
+                    },
                 },
                 "planner": dict(self._planner),
                 "cache": {
@@ -179,6 +225,24 @@ class ServiceMetrics:
                     )
                 },
             }
+            if reset:
+                self._reset_locked()
         if cache_size is not None:
             snapshot["cache"]["size"] = cache_size
         return snapshot
+
+    def reset(self) -> dict:
+        """Zero every counter and return the final pre-reset snapshot.
+
+        Equivalent to ``snapshot(reset=True)``; the read-and-zero is
+        one critical section, so concurrent :meth:`record_query` calls
+        are attributed to exactly one window.
+        """
+        return self.snapshot(reset=True)
+
+    @staticmethod
+    def _bucket_dict(counts) -> Dict[str, int]:
+        return {
+            ("+inf" if math.isinf(edge) else f"<={edge:g}ms"): count
+            for edge, count in zip(LATENCY_BUCKETS_MS, counts)
+        }

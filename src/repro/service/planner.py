@@ -33,6 +33,7 @@ from repro.analysis.cost_model import (
     TreeShape,
     estimate_closest_pair_distance,
     estimate_cpq_accesses,
+    estimate_parallel_speedup,
 )
 from repro.core.api import ALGORITHM_REGISTRY, PLANNABLE_ALGORITHMS
 from repro.obs.trace import NULL_TRACER
@@ -59,6 +60,13 @@ class PlanDecision:
     height_p: int
     height_q: int
     k: int
+    #: Intra-query worker threads the executor should use (1 = serial).
+    #: Only > 1 when the caller offered a worker budget AND the
+    #: predicted traversal is large enough that the partitioned
+    #: executor's serial setup is amortised.
+    workers: int = 1
+    #: Predicted wall-clock speedup at ``workers`` (1.0 when serial).
+    estimated_speedup: float = 1.0
 
     def as_dict(self) -> dict:
         return {
@@ -69,6 +77,8 @@ class PlanDecision:
             "buffer_pages": self.buffer_pages,
             "heights": [self.height_p, self.height_q],
             "k": self.k,
+            "workers": self.workers,
+            "estimated_speedup": round(self.estimated_speedup, 3),
         }
 
 
@@ -79,10 +89,16 @@ class Planner:
     candidate ordering cannot pay for itself.
     """
 
-    def __init__(self, sim_threshold: float = 24.0):
+    def __init__(self, sim_threshold: float = 24.0,
+                 parallel_speedup_threshold: float = 1.5):
         if sim_threshold < 0:
             raise ValueError("sim_threshold must be >= 0")
+        if parallel_speedup_threshold < 1.0:
+            raise ValueError("parallel_speedup_threshold must be >= 1.0")
         self.sim_threshold = sim_threshold
+        #: Minimum predicted speedup before the planner recommends
+        #: spending worker threads on one query.
+        self.parallel_speedup_threshold = parallel_speedup_threshold
 
     def plan(
         self,
@@ -91,6 +107,7 @@ class Planner:
         buffer_pages: int,
         k: int = 1,
         tracer=NULL_TRACER,
+        workers: int = 1,
     ) -> PlanDecision:
         """Pick an algorithm for one K-CPQ against a shaped tree pair.
 
@@ -107,6 +124,12 @@ class Planner:
         k:
             Requested result cardinality; scales the predicted reach
             by ``sqrt(k)`` (uniform pair-population argument).
+        workers:
+            Worker-thread budget the caller is willing to spend on
+            this one query (the service's ``max_query_workers``).  The
+            decision's ``workers`` field is 1 unless the predicted
+            speedup (:func:`estimate_parallel_speedup`) clears
+            ``parallel_speedup_threshold``.
         tracer:
             Optional :class:`repro.obs.Tracer`; when enabled, the
             decision is recorded as a ``plan`` span carrying the full
@@ -120,10 +143,12 @@ class Planner:
             ``estimated_distance`` in workspace units).
         """
         if not tracer.enabled:
-            decision = self._decide(shape_p, shape_q, buffer_pages, k)
+            decision = self._decide(shape_p, shape_q, buffer_pages, k,
+                                    workers)
         else:
             with tracer.span("plan") as span:
-                decision = self._decide(shape_p, shape_q, buffer_pages, k)
+                decision = self._decide(shape_p, shape_q, buffer_pages, k,
+                                        workers)
                 span.annotate(**decision.as_dict())
         spec = ALGORITHM_REGISTRY[decision.algorithm]
         assert spec.plannable, f"planner chose unplannable {spec.name!r}"
@@ -135,6 +160,7 @@ class Planner:
         shape_q: Optional[TreeShape],
         buffer_pages: int,
         k: int,
+        workers: int = 1,
     ) -> PlanDecision:
         if shape_p is None or shape_q is None:
             return PlanDecision(
@@ -188,6 +214,16 @@ class Planner:
                 f"{buffer_pages}-page buffer; global best-first "
                 f"order minimises disk I/O"
             )
+        chosen_workers, speedup = 1, 1.0
+        if workers > 1:
+            speedup = estimate_parallel_speedup(accesses, workers)
+            if speedup >= self.parallel_speedup_threshold:
+                chosen_workers = workers
+                reason += (
+                    f"; ~{speedup:.1f}x predicted from {workers} workers"
+                )
+            else:
+                speedup = 1.0
         return PlanDecision(
             algorithm=algorithm,
             reason=reason,
@@ -197,4 +233,6 @@ class Planner:
             height_p=height_p,
             height_q=height_q,
             k=k,
+            workers=chosen_workers,
+            estimated_speedup=speedup,
         )

@@ -94,10 +94,18 @@ class FilePageStore:
     is not needed by any experiment).
     """
 
-    def __init__(self, path: str, page_size: int = 1024):
+    def __init__(self, path: str, page_size: int = 1024,
+                 readonly: bool = False):
         self.page_size = page_size
         self.path = path
-        mode = "r+b" if os.path.exists(path) else "w+b"
+        self.readonly = readonly
+        if readonly:
+            # Per-worker handles of the parallel executor's process mode:
+            # each worker opens its own file descriptor on the shared
+            # page file, so concurrent readers never share seek state.
+            mode = "rb"
+        else:
+            mode = "r+b" if os.path.exists(path) else "w+b"
         self._file = open(path, mode)
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
@@ -110,6 +118,7 @@ class FilePageStore:
         self._free: List[int] = []
 
     def allocate(self) -> int:
+        self._check_writable()
         if self._free:
             page_id = self._free.pop()
         else:
@@ -126,6 +135,7 @@ class FilePageStore:
         return self._file.read(self.page_size)
 
     def write(self, page_id: int, data: bytes) -> None:
+        self._check_writable()
         self._check(page_id)
         if len(data) != self.page_size:
             raise ValueError(
@@ -135,6 +145,7 @@ class FilePageStore:
         self._file.write(data)
 
     def free(self, page_id: int) -> None:
+        self._check_writable()
         self._check(page_id)
         self._allocated.remove(page_id)
         self._free.append(page_id)
@@ -142,6 +153,10 @@ class FilePageStore:
     def _check(self, page_id: int) -> None:
         if page_id not in self._allocated:
             raise KeyError(f"page {page_id} not allocated")
+
+    def _check_writable(self) -> None:
+        if self.readonly:
+            raise PermissionError(f"{self.path} opened read-only")
 
     def __len__(self) -> int:
         return len(self._allocated)

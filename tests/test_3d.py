@@ -8,7 +8,7 @@ import random
 import pytest
 
 from repro.core import k_closest_pairs
-from repro.core.api import ALGORITHMS
+from repro.core.api import CORE_ALGORITHMS as ALGORITHMS
 from repro.geometry.mbr import MBR
 from repro.geometry.metrics import maxmaxdist, minmaxdist, minmindist
 from repro.query import nearest_neighbors, range_query

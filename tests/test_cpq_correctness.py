@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import k_closest_pairs
-from repro.core.api import ALGORITHMS, closest_pair
+from repro.core.api import CORE_ALGORITHMS as ALGORITHMS, closest_pair
 from repro.core.height import FIX_AT_LEAVES, FIX_AT_ROOT
 from repro.geometry.minkowski import CHEBYSHEV, MANHATTAN
 from repro.rtree.bulk import bulk_load

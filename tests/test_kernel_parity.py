@@ -26,7 +26,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CPQRequest, k_closest_pairs
-from repro.core.api import ALGORITHMS
+from repro.core.api import CORE_ALGORITHMS as ALGORITHMS
 from repro.datasets import overlapping_workspace, sequoia_like
 from repro.datasets.workspace import UNIT_WORKSPACE
 from repro.geometry.mbr import MBR

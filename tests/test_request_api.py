@@ -124,11 +124,33 @@ class TestCacheKey:
 
 class TestRegistry:
     def test_every_algorithm_registered_with_runner(self):
-        assert ALGORITHMS == ("naive", "exh", "sim", "std", "heap")
+        assert ALGORITHMS[:5] == ("naive", "exh", "sim", "std", "heap")
+        assert set(ALGORITHMS) == {
+            "naive", "exh", "sim", "std", "heap",
+            "self", "semi", "multiway", "incremental",
+        }
         for name, spec in ALGORITHM_REGISTRY.items():
             assert spec.name == name
             assert callable(spec.runner)
-            assert spec.label == name.upper()
+
+    def test_core_labels_match_names(self):
+        for name in ("naive", "exh", "sim", "std", "heap"):
+            assert ALGORITHM_REGISTRY[name].label == name.upper()
+
+    def test_capability_flags(self):
+        for name in ("naive", "exh", "sim", "std", "heap"):
+            spec = ALGORITHM_REGISTRY[name]
+            assert spec.supports_parallel
+            assert not (spec.self_join or spec.semi or spec.multiway
+                        or spec.incremental)
+        assert ALGORITHM_REGISTRY["self"].self_join
+        assert ALGORITHM_REGISTRY["semi"].semi
+        assert ALGORITHM_REGISTRY["multiway"].multiway
+        assert ALGORITHM_REGISTRY["incremental"].incremental
+        for name in ("self", "semi", "multiway", "incremental"):
+            spec = ALGORITHM_REGISTRY[name]
+            assert not spec.supports_parallel
+            assert not spec.plannable
 
     def test_naive_is_not_plannable(self):
         assert "naive" not in PLANNABLE_ALGORITHMS

@@ -185,6 +185,70 @@ class TestMetrics:
         metrics.record_query("knn", STATUS_ERROR, latency_ms=0.5)
         json.dumps(metrics.snapshot())
 
+    def test_per_algorithm_latency_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.record_query("cpq", STATUS_OK, latency_ms=2.0,
+                             algorithm="heap")
+        metrics.record_query("cpq", STATUS_OK, latency_ms=6.0,
+                             algorithm="heap")
+        metrics.record_query("cpq", STATUS_OK, latency_ms=1.0,
+                             algorithm="std")
+        metrics.record_query("knn", STATUS_OK, latency_ms=9.0)  # no algo
+        by_algo = metrics.snapshot()["latency_ms"]["by_algorithm"]
+        assert set(by_algo) == {"heap", "std"}
+        heap = by_algo["heap"]
+        assert heap["count"] == 2
+        assert heap["min"] == 2.0
+        assert heap["max"] == 6.0
+        assert heap["mean"] == pytest.approx(4.0)
+        assert sum(heap["buckets"].values()) == 2
+        assert by_algo["std"]["count"] == 1
+
+    def test_snapshot_with_reset_returns_pre_reset_view(self):
+        metrics = ServiceMetrics()
+        metrics.record_submitted()
+        metrics.record_query("cpq", STATUS_OK, latency_ms=3.0,
+                             algorithm="heap", disk_reads=4)
+        before = metrics.snapshot(reset=True)
+        assert before["queries"]["submitted"] == 1
+        assert before["latency_ms"]["by_algorithm"]["heap"]["count"] == 1
+        assert before["io"]["disk_reads"] == 4
+        after = metrics.snapshot()
+        assert after["queries"]["submitted"] == 0
+        assert after["latency_ms"]["count"] == 0
+        assert after["latency_ms"]["by_algorithm"] == {}
+        assert after["io"]["disk_reads"] == 0
+
+    def test_reset_is_snapshot_alias(self):
+        metrics = ServiceMetrics()
+        metrics.record_cache_miss()
+        returned = metrics.reset()
+        assert returned["cache"]["misses"] == 1
+        assert metrics.snapshot()["cache"]["misses"] == 0
+
+    def test_reset_survives_concurrent_recording(self):
+        """No update may be lost or double-counted across resets: the
+        total over all snapshots equals the number of recordings."""
+        metrics = ServiceMetrics()
+        stop = threading.Event()
+        recorded = [0]
+
+        def record():
+            while not stop.is_set():
+                metrics.record_query("cpq", STATUS_OK, latency_ms=1.0,
+                                     algorithm="heap")
+                recorded[0] += 1
+
+        thread = threading.Thread(target=record)
+        thread.start()
+        harvested = 0
+        for __ in range(50):
+            harvested += metrics.snapshot(reset=True)["latency_ms"]["count"]
+        stop.set()
+        thread.join()
+        harvested += metrics.snapshot(reset=True)["latency_ms"]["count"]
+        assert harvested == recorded[0]
+
 
 # ---------------------------------------------------------------------------
 # Service behaviour
@@ -384,6 +448,153 @@ class TestAdmissionControl:
             )
         finally:
             service.close()
+
+
+class TestSubmitBatch:
+    def test_auto_requests_share_one_plan(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        with make_service(tree_p, tree_q, workers=2) as service:
+            handles = service.submit_batch([
+                CPQRequest(pair="pair", k=5, use_cache=False)
+                for __ in range(6)
+            ])
+            responses = [h.result(timeout=60) for h in handles]
+            assert all(r.status == STATUS_OK for r in responses)
+            # One PlanDecision object, shared by the whole batch...
+            assert len({id(r.plan) for r in responses}) == 1
+            # ...but every execution still tallies its applied decision.
+            algorithm = responses[0].algorithm
+            assert service.metrics.planner_decisions[algorithm] == 6
+
+    def test_distinct_k_plan_separately(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        with make_service(tree_p, tree_q, workers=2) as service:
+            handles = service.submit_batch([
+                CPQRequest(pair="pair", k=k, use_cache=False)
+                for k in (2, 2, 9, 9)
+            ])
+            responses = [h.result(timeout=60) for h in handles]
+            assert len({id(r.plan) for r in responses}) == 2
+
+    def test_explicit_algorithm_not_preplanned(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        with make_service(tree_p, tree_q, workers=1) as service:
+            handles = service.submit_batch([
+                CPQRequest(pair="pair", k=3, algorithm="std",
+                           use_cache=False),
+            ])
+            response = handles[0].result(timeout=60)
+            assert response.status == STATUS_OK
+            assert response.plan is None
+
+    def test_unknown_pair_still_resolves_as_error(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        with make_service(tree_p, tree_q, workers=1) as service:
+            handles = service.submit_batch([
+                CPQRequest(pair="pair", k=2),
+                CPQRequest(pair="nope", k=2),
+            ])
+            ok, bad = [h.result(timeout=60) for h in handles]
+            assert ok.status == STATUS_OK
+            assert bad.status == STATUS_ERROR
+            assert "unknown pair" in bad.error
+
+
+class TestIntraQueryParallelism:
+    def test_explicit_workers_capped_by_budget(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        with make_service(
+            tree_p, tree_q, workers=1, max_query_workers=2,
+        ) as service:
+            response = service.execute(CPQRequest(
+                pair="pair", k=5, algorithm="heap", workers=8,
+                use_cache=False,
+            ))
+            assert response.status == STATUS_OK
+            parallel = response.result.stats.extra["parallel"]
+            assert parallel["workers"] == 2
+
+    def test_default_budget_keeps_queries_serial(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        with make_service(tree_p, tree_q, workers=1) as service:
+            response = service.execute(CPQRequest(
+                pair="pair", k=5, algorithm="heap", workers=8,
+                use_cache=False,
+            ))
+            assert response.status == STATUS_OK
+            assert "parallel" not in response.result.stats.extra
+
+    def test_auto_workers_decided_by_planner(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        eager = Planner(parallel_speedup_threshold=1.0)
+        with make_service(
+            tree_p, tree_q, workers=1, max_query_workers=4,
+            planner=eager,
+        ) as service:
+            response = service.execute(CPQRequest(
+                pair="pair", k=5, use_cache=False,
+            ))
+            assert response.status == STATUS_OK
+            assert response.plan.workers == 4
+            assert response.plan.estimated_speedup > 1.0
+            if response.algorithm == "heap":
+                parallel = response.result.stats.extra["parallel"]
+                assert parallel["workers"] == 4
+
+    def test_parallel_result_matches_cached_serial(self, service_trees):
+        """workers is execution-only: a parallel run and a serial run
+        share a cache entry because the results are identical."""
+        __, __, tree_p, tree_q = service_trees
+        with make_service(
+            tree_p, tree_q, workers=1, max_query_workers=4,
+        ) as service:
+            first = service.execute(CPQRequest(
+                pair="pair", k=6, algorithm="heap", workers=4,
+            ))
+            second = service.execute(CPQRequest(
+                pair="pair", k=6, algorithm="heap", workers=1,
+            ))
+            assert not first.cached
+            assert second.cached
+            assert second.result is first.result
+
+
+class TestExtensionAlgorithmsViaService:
+    def test_semi_multiway_incremental_execute_and_cache(
+        self, service_trees
+    ):
+        points_p, __, tree_p, tree_q = service_trees
+        # A semi-join answers per point of P, not per K.
+        expected_len = {"semi": len(points_p), "multiway": 4,
+                        "incremental": 4}
+        with make_service(tree_p, tree_q, workers=1) as service:
+            for algorithm in ("semi", "multiway", "incremental"):
+                first = service.execute(CPQRequest(
+                    pair="pair", k=4, algorithm=algorithm,
+                ))
+                assert first.status == STATUS_OK, first.error
+                assert len(first.result.pairs) == expected_len[algorithm]
+                again = service.execute(CPQRequest(
+                    pair="pair", k=4, algorithm=algorithm,
+                ))
+                assert again.cached
+                assert again.result is first.result
+            by_algo = service.snapshot()["latency_ms"]["by_algorithm"]
+            assert {"semi", "multiway", "incremental"} <= set(by_algo)
+
+    def test_incremental_matches_heap_distances(self, service_trees):
+        __, __, tree_p, tree_q = service_trees
+        with make_service(tree_p, tree_q, workers=1) as service:
+            inc = service.execute(CPQRequest(
+                pair="pair", k=5, algorithm="incremental",
+                use_cache=False,
+            ))
+            heap = service.execute(CPQRequest(
+                pair="pair", k=5, algorithm="heap", use_cache=False,
+            ))
+            assert inc.result.distances() == pytest.approx(
+                heap.result.distances()
+            )
 
 
 class TestGenerationCounter:
