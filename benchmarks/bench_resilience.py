@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Overhead benchmark for the resilience stack.
+
+Measures what the robustness machinery costs on the fault-free hot
+path -- the number every resilience feature must justify itself
+against:
+
+* **checksum**: serialize + verify-deserialize throughput of the
+  version-1 checksummed page format, against decoding the same pages
+  with verification skipped (legacy version-0 images).
+* **retry plumbing**: buffered page reads through the retry-wrapped
+  miss path, against a policy of one attempt (no retry loop state).
+
+Also reports the *recovery* cost: wall time of a reference K-CPQ under
+the seeded ``transient`` chaos schedule relative to the fault-free
+run, with the injected fault/retry counts.
+
+The printed table is Markdown (paste into ``docs/BENCHMARKS.md``).
+Exit status is the CI gate: nonzero when the fault-free checksummed
+read path is more than ``--max-overhead`` slower than the unverified
+one (default 0.5, i.e. "checksums may cost at most 50%"; the real
+ratio is far lower because CRC32 is C-speed).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py           # full
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.core.api import CPQRequest, k_closest_pairs
+from repro.rtree.bulk import bulk_load
+from repro.storage.buffer import RetryPolicy
+from repro.storage.faults import FaultPlan, unwrap_tree_store, wrap_tree_store
+from repro.storage.page import PageLayout
+from repro.storage.paged_file import PagedFile
+from repro.storage.serializer import NodeSerializer
+from repro.storage.store import MemoryPageStore
+
+
+def bench_checksum(pages: int, repeats: int) -> dict:
+    """Decode throughput: verified (v1) vs unverified (legacy v0)."""
+    layout = PageLayout(page_size=1024)
+    serializer = NodeSerializer(layout)
+    rng = random.Random(7)
+    entries = [
+        ((rng.random(), rng.random()), i) for i in range(layout.max_entries)
+    ]
+    checked = serializer.serialize_leaf(entries)
+    # The same bytes as a legacy page: zeroed version/reserved/CRC words
+    # make deserialize skip verification.
+    legacy = checked[:8] + b"\x00" * 8 + checked[16:]
+
+    def decode_loop(page: bytes) -> float:
+        best = float("inf")
+        for __ in range(repeats):
+            start = time.perf_counter()
+            for __ in range(pages):
+                serializer.deserialize_arrays(page)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    verified = decode_loop(checked)
+    unverified = decode_loop(legacy)
+    return {
+        "verified_s": verified,
+        "unverified_s": unverified,
+        "overhead": verified / unverified - 1.0,
+        "pages": pages,
+    }
+
+
+def bench_retry_plumbing(reads: int, repeats: int) -> dict:
+    """Buffered miss-path reads: default retry loop vs single attempt."""
+    def run(policy: RetryPolicy) -> float:
+        store = MemoryPageStore(1024)
+        for __ in range(64):
+            store.write(store.allocate(), b"\x5A" * 1024)
+        file = PagedFile(store, buffer_capacity=0, retry_policy=policy)
+        best = float("inf")
+        for __ in range(repeats):
+            start = time.perf_counter()
+            for i in range(reads):
+                file.read_page(i % 64)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    with_retry = run(RetryPolicy())
+    single = run(RetryPolicy(max_attempts=1))
+    return {
+        "retry_s": with_retry,
+        "single_s": single,
+        "overhead": with_retry / single - 1.0,
+        "reads": reads,
+    }
+
+
+def bench_recovery(n: int, k: int) -> dict:
+    """Reference K-CPQ fault-free vs under the transient schedule."""
+    rng = random.Random(11)
+    tree_p = bulk_load([(rng.random(), rng.random()) for __ in range(n)])
+    tree_q = bulk_load([(rng.random(), rng.random()) for __ in range(n)])
+    request = CPQRequest(k=k, algorithm="heap")
+
+    start = time.perf_counter()
+    baseline = k_closest_pairs(tree_p, tree_q, request=request)
+    clean_s = time.perf_counter() - start
+
+    plan = FaultPlan(seed=13, p_transient=0.05)
+    wrappers = [
+        wrap_tree_store(tree_p, plan, sleep=lambda _s: None),
+        wrap_tree_store(tree_q, plan, sleep=lambda _s: None),
+    ]
+    try:
+        start = time.perf_counter()
+        faulted = k_closest_pairs(tree_p, tree_q, request=request)
+        faulted_s = time.perf_counter() - start
+        retries = tree_p.stats.read_retries + tree_q.stats.read_retries
+    finally:
+        unwrap_tree_store(tree_p)
+        unwrap_tree_store(tree_q)
+    if faulted.pairs != baseline.pairs:
+        raise AssertionError(
+            "faulted K-CPQ diverged from the fault-free baseline -- "
+            "the resilience invariant is broken"
+        )
+    injected = sum(w.faults.transient_raised for w in wrappers)
+    return {
+        "clean_s": clean_s,
+        "faulted_s": faulted_s,
+        "slowdown": faulted_s / clean_s if clean_s else float("nan"),
+        "injected": injected,
+        "retries": retries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fault-free overhead and recovery cost of the "
+                    "resilience stack (checksums, retrying buffer)",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller loops (CI)")
+    parser.add_argument("--max-overhead", type=float, default=0.5,
+                        help="fail (exit 1) if checksummed decode is "
+                             "more than this fraction slower than "
+                             "unverified decode (default 0.5)")
+    parser.add_argument("--json", default=None,
+                        help="also write the numbers as JSON here")
+    args = parser.parse_args(argv)
+
+    pages = 2_000 if args.quick else 20_000
+    reads = 5_000 if args.quick else 50_000
+    n = 1_500 if args.quick else 8_000
+    repeats = 2 if args.quick else 3
+
+    checksum = bench_checksum(pages, repeats)
+    plumbing = bench_retry_plumbing(reads, repeats)
+    recovery = bench_recovery(n, k=10)
+
+    print("resilience overhead (fault-free hot path, best of "
+          f"{repeats})\n")
+    print("| path | with | without | overhead |")
+    print("|---|---|---|---|")
+    print(f"| checksummed decode ({checksum['pages']} pages) "
+          f"| {checksum['verified_s'] * 1e3:.1f} ms "
+          f"| {checksum['unverified_s'] * 1e3:.1f} ms "
+          f"| {checksum['overhead'] * 100:+.1f}% |")
+    print(f"| retry-wrapped miss path ({plumbing['reads']} reads) "
+          f"| {plumbing['retry_s'] * 1e3:.1f} ms "
+          f"| {plumbing['single_s'] * 1e3:.1f} ms "
+          f"| {plumbing['overhead'] * 100:+.1f}% |")
+    print()
+    print(f"recovery: HEAP k=10 over {n} x {n} points under "
+          f"transient p=0.05 -- {recovery['faulted_s'] * 1e3:.1f} ms vs "
+          f"{recovery['clean_s'] * 1e3:.1f} ms clean "
+          f"({recovery['slowdown']:.2f}x), {recovery['injected']} faults "
+          f"injected, {recovery['retries']} retries, answers identical")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"checksum": checksum, "retry": plumbing,
+                       "recovery": recovery}, handle, indent=2)
+        print(f"\nwrote {args.json}")
+
+    if checksum["overhead"] > args.max_overhead:
+        print(f"FAIL: checksum overhead {checksum['overhead']:.2f} "
+              f"exceeds --max-overhead {args.max_overhead}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -276,6 +276,12 @@ def _response_json(response) -> dict:
         out["algorithm"] = response.algorithm
     if response.error is not None:
         out["error"] = response.error
+    # Resilience annotations, only when they carry signal (keeps the
+    # common-case line format stable).
+    if response.stale:
+        out["stale"] = True
+    if response.read_retries:
+        out["read_retries"] = response.read_retries
     if not response.ok:
         return out
     if response.kind == "cpq":
@@ -396,6 +402,122 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         service.close()
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a K-CPQ workload under an injected fault schedule.
+
+    First computes the fault-free answer for every requested
+    algorithm, then swaps both trees' page stores for seeded
+    :class:`~repro.storage.faults.FaultyPageStore` wrappers and reruns
+    the same queries.  An algorithm *survives* when it returns exactly
+    the baseline pairs; a typed storage error (corruption detected,
+    retries exhausted) is reported as a loud failure; anything else is
+    a bug.  Exit status 0 only when every run survives -- the bundled
+    schedules are all survivable by construction (transient streaks
+    shorter than the retry budget, wire bit-flips healed by the
+    checksum re-read), so any nonzero exit is a real regression.
+    """
+    import dataclasses
+
+    from repro.errors import StorageError
+    from repro.storage.faults import (
+        SCHEDULES,
+        unwrap_tree_store,
+        wrap_tree_store,
+    )
+
+    if args.list_schedules:
+        for name, plan in sorted(SCHEDULES.items()):
+            print(f"{name:10s} transient={plan.p_transient:g} "
+                  f"latency={plan.p_latency:g} bitflip={plan.p_bitflip:g} "
+                  f"torn={plan.p_torn_write:g}")
+        return 0
+    if args.schedule not in SCHEDULES:
+        print(f"unknown schedule {args.schedule!r}; choose from "
+              f"{', '.join(sorted(SCHEDULES))}", file=sys.stderr)
+        return 2
+    if args.left is None or args.right is None:
+        print("chaos: left and right inputs are required",
+              file=sys.stderr)
+        return 2
+
+    tree_p = _load_tree(args.left)
+    tree_q = _load_tree(args.right)
+    if args.buffer:
+        tree_p.file.set_buffer_capacity(args.buffer // 2)
+        tree_q.file.set_buffer_capacity(args.buffer // 2)
+    # The paper's five two-tree algorithms; the registry's extensions
+    # (self/semi/multiway/incremental) have their own call shapes and
+    # are opt-in via --algorithms.
+    core = ("naive", "exh", "sim", "std", "heap")
+    algorithms = (
+        tuple(args.algorithms.split(","))
+        if args.algorithms else core
+    )
+    for algorithm in algorithms:
+        if algorithm not in ALGORITHMS:
+            print(f"unknown algorithm {algorithm!r}", file=sys.stderr)
+            return 2
+
+    baselines = {}
+    for algorithm in algorithms:
+        result = k_closest_pairs(
+            tree_p, tree_q,
+            request=CPQRequest(k=args.k, algorithm=algorithm),
+        )
+        baselines[algorithm] = result.pairs
+
+    plan = dataclasses.replace(SCHEDULES[args.schedule], seed=args.seed)
+    wrapper_p = wrap_tree_store(tree_p, plan)
+    wrapper_q = wrap_tree_store(
+        tree_q, dataclasses.replace(plan, seed=args.seed + 1)
+    )
+    failures = []
+    retries = corruption = 0
+    try:
+        for algorithm in algorithms:
+            for run in range(args.repeat):
+                try:
+                    result = k_closest_pairs(
+                        tree_p, tree_q,
+                        request=CPQRequest(k=args.k, algorithm=algorithm),
+                    )
+                except StorageError as exc:
+                    failures.append(algorithm)
+                    print(f"{algorithm:6s} run {run}: LOUD FAILURE "
+                          f"({type(exc).__name__}: {exc})")
+                else:
+                    if result.pairs == baselines[algorithm]:
+                        print(f"{algorithm:6s} run {run}: survived "
+                              f"(identical to fault-free baseline)")
+                    else:
+                        failures.append(algorithm)
+                        print(f"{algorithm:6s} run {run}: WRONG ANSWER "
+                              f"under faults -- this is a bug")
+                # Each run resets the trees' IOStats on entry, so the
+                # counters read here belong to this run alone.
+                retries += (tree_p.stats.read_retries
+                            + tree_q.stats.read_retries)
+                corruption += (tree_p.stats.corrupt_reads
+                               + tree_q.stats.corrupt_reads)
+    finally:
+        unwrap_tree_store(tree_p)
+        unwrap_tree_store(tree_q)
+    faults = wrapper_p.faults
+    faults_q = wrapper_q.faults
+    print(f"# schedule {args.schedule!r} seed {args.seed}: "
+          f"{faults.transient_raised + faults_q.transient_raised} "
+          f"transient errors, "
+          f"{faults.bits_flipped + faults_q.bits_flipped} bit flips, "
+          f"{faults.latency_spikes + faults_q.latency_spikes} "
+          f"latency spikes over "
+          f"{faults.reads + faults_q.reads} reads")
+    print(f"# recovery: {retries} read retries, "
+          f"{corruption} corrupt pages detected and re-read")
+    total = len(algorithms) * args.repeat
+    print(f"# {total - len(failures)}/{total} runs survived")
+    return 1 if failures else 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -558,6 +680,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_service_args(serve)
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="rerun a K-CPQ workload under injected storage faults "
+             "and verify the answers are unchanged",
+    )
+    chaos.add_argument("left", nargs="?", default=None,
+                       help="points file or .pages tree (P)")
+    chaos.add_argument("right", nargs="?", default=None,
+                       help="points file or .pages tree (Q)")
+    chaos.add_argument("--schedule", default="mixed",
+                       help="named fault schedule (see --list-schedules)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed; same seed, same faults")
+    chaos.add_argument("--k", type=int, default=10)
+    chaos.add_argument("--buffer", type=int, default=0,
+                       help="total LRU buffer pages (B/2 per tree)")
+    chaos.add_argument("--algorithms", default=None,
+                       help="comma-separated subset (default: all five)")
+    chaos.add_argument("--repeat", type=int, default=1,
+                       help="faulted runs per algorithm")
+    chaos.add_argument("--list-schedules", action="store_true",
+                       help="print the named schedules and exit")
+    chaos.set_defaults(func=cmd_chaos)
 
     figure = sub.add_parser(
         "figure", help="regenerate one of the paper's figures"

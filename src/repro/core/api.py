@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.engine import CPQContext, traced_traversal
+from repro.errors import DeadlineExceeded, PageCorruptionError
 from repro.core.exhaustive import exhaustive
 from repro.core.heap import heap_algorithm
 from repro.core.height import FIX_AT_ROOT, validate_strategy
@@ -51,14 +52,9 @@ from repro.geometry.minkowski import EUCLIDEAN, MinkowskiMetric
 from repro.rtree.tree import RTree
 
 
-class DeadlineExceeded(Exception):
-    """A query overran its deadline.
-
-    Raised from the cooperative cancellation probe between node-pair
-    visits, so traversals abort at a consistent point; the trees and
-    buffers remain usable.  (Re-exported by ``repro.service`` for its
-    per-request deadlines.)
-    """
+# DeadlineExceeded now lives in the unified repro.errors taxonomy; the
+# import above re-exports it here (and, transitively, from
+# repro.service) for compatibility with every existing import site.
 
 
 # ---------------------------------------------------------------------------
@@ -554,13 +550,39 @@ def k_closest_pairs(
         local_tracer = tracer = Tracer()
 
     if request.workers > 1 and request.spec.supports_parallel:
-        result = parallel_k_closest_pairs(
-            tree_p,
-            tree_q,
-            request,
-            cancel_check=cancel_check,
-            tracer=tracer,
-        )
+        try:
+            result = parallel_k_closest_pairs(
+                tree_p,
+                tree_q,
+                request,
+                cancel_check=cancel_check,
+                tracer=tracer,
+            )
+        except (DeadlineExceeded, ValueError):
+            # Cancellation is the caller's intent; ValueError covers
+            # misconfiguration (e.g. process mode without file-backed
+            # trees) and PageCorruptionError, both deterministic -- a
+            # serial rerun would only hit them again.
+            raise
+        except Exception as exc:  # noqa: BLE001 -- degrade, don't die
+            # Graceful degradation: a worker-pool failure (exhausted
+            # transient retries in one worker, executor breakage)
+            # falls back to the serial engine, which re-reads through
+            # the buffer and may well succeed.  The fallback is
+            # recorded in the result's stats for observability.
+            ctx = CPQContext(
+                tree_p,
+                tree_q,
+                request.k,
+                request.metric,
+                cancel_check=cancel_check,
+                tracer=tracer,
+            )
+            result = request.spec.runner(ctx, request)
+            result.stats.extra["parallel_fallback"] = {
+                "error": f"{type(exc).__name__}: {exc}",
+                "workers_requested": request.workers,
+            }
     else:
         ctx = CPQContext(
             tree_p,

@@ -211,6 +211,15 @@ def _finish_io_span(tracer, label: str, base, after, collector) -> None:
             buffer_hits=after.buffer_hits - base.buffer_hits,
             reads=after.reads - base.reads,
         )
+        # Resilience counters are annotated only when they moved, so
+        # fault-free traces (and the explain golden output) stay
+        # byte-stable while faulted runs show their retries.
+        retries = after.read_retries - base.read_retries
+        if retries:
+            child.annotate(read_retries=retries)
+        corrupt = after.corrupt_reads - base.corrupt_reads
+        if corrupt:
+            child.annotate(corrupt_reads=corrupt)
         if collector is not None and collector.reads:
             child.annotate(
                 observed_reads=collector.reads,

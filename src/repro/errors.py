@@ -1,0 +1,100 @@
+"""Unified error taxonomy for the resilience stack.
+
+The paper's cost model assumes every page read succeeds and every byte
+is intact; a served system cannot.  This module is the single place
+where the library's failure modes are named, so callers can write
+layered handlers::
+
+    try:
+        response = service.execute(request)
+    except TransientIOError:     # retries exhausted -- back off and retry
+        ...
+    except PageCorruptionError:  # data is wrong -- page it, do not retry
+        ...
+
+Hierarchy
+---------
+
+* :class:`ReproError` -- base class of every library-defined error.
+
+  * :class:`StorageError` -- failures of the page storage stack.
+
+    * :class:`TransientIOError` -- a read/write failed but retrying may
+      succeed (flaky device, injected fault).  Also an :class:`OSError`,
+      so generic I/O handlers keep working.
+    * :class:`PageCorruptionError` -- the bytes that came back are not
+      the bytes that were written (checksum mismatch, short read, torn
+      write, impossible header).  Also a :class:`ValueError`, matching
+      the serializer's historical contract.
+
+  * :class:`DeadlineExceeded` -- a query overran its deadline (raised
+    from the cooperative cancellation probe between node-pair visits,
+    so traversals abort at a consistent point; trees and buffers stay
+    usable).  Re-exported by :mod:`repro.core.api` and
+    :mod:`repro.service`.
+  * :class:`ServiceOverloadError` -- the query service shed the request
+    under load (queue depth at or above the shedding threshold).
+
+Transient faults are *retried* (:class:`repro.storage.buffer.LRUBuffer`
+with a :class:`~repro.storage.buffer.RetryPolicy`); corruption is
+*detected and surfaced* (CRC32 page checksums, see
+``docs/RESILIENCE.md``) -- never silently returned as a wrong answer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error the library defines."""
+
+
+class StorageError(ReproError):
+    """Base class for page-storage failures."""
+
+
+class TransientIOError(StorageError, OSError):
+    """A page operation failed in a way that may succeed on retry.
+
+    Raised by fault-injecting stores (:mod:`repro.storage.faults`) and
+    by real stores for retryable OS errors.  The buffer pool retries
+    these with bounded exponential backoff before letting them escape.
+    """
+
+
+class PageCorruptionError(StorageError, ValueError):
+    """A page's bytes fail validation (checksum, length, or header).
+
+    Carries enough context to identify the damage.  Subclasses
+    :class:`ValueError` so pre-taxonomy handlers around the serializer
+    keep catching it.
+    """
+
+    def __init__(self, message: str, page_id: int | None = None):
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class DeadlineExceeded(ReproError):
+    """A query overran its deadline.
+
+    Raised from the cooperative cancellation probe between node-pair
+    visits, so traversals abort at a consistent point; the trees and
+    buffers remain usable.  (Re-exported by ``repro.core.api`` and
+    ``repro.service``.)
+    """
+
+
+class ServiceOverloadError(ReproError):
+    """The service shed a request because it is saturated.
+
+    ``queue_depth`` is the depth observed at admission time and
+    ``threshold`` the configured shedding bound.
+    """
+
+    def __init__(self, queue_depth: int, threshold: int):
+        super().__init__(
+            f"service overloaded: queue depth {queue_depth} at or above "
+            f"shedding threshold {threshold}"
+        )
+        self.queue_depth = queue_depth
+        self.threshold = threshold

@@ -27,6 +27,7 @@ from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.errors import PageCorruptionError
 from repro.geometry.mbr import MBR
 from repro.rtree.entries import InternalEntry, LeafEntry
 from repro.rtree.node import Entry, Node
@@ -134,11 +135,28 @@ class RTree:
         Pages are deserialised at most once; the decoded-node cache does
         not affect the disk-access counts (those are decided solely by
         the buffer), it only avoids redundant byte decoding.
+
+        A page that fails its checksum is dropped from the buffer and
+        re-read once from the backing store: corruption picked up in
+        flight (a flipped bit on the wire) heals, while at-rest damage
+        fails the second decode too and propagates as
+        :class:`repro.errors.PageCorruptionError` -- never a silently
+        wrong node.  Detections count in ``stats.corrupt_reads``.
         """
         data = self.file.read_page(page_id)
         node = self._nodes.get(page_id)
         if node is None:
-            level, tuples, lo, hi = self.serializer.deserialize_arrays(data)
+            try:
+                level, tuples, lo, hi = (
+                    self.serializer.deserialize_arrays(data)
+                )
+            except PageCorruptionError:
+                self.stats.corrupt_reads += 1
+                self.file.buffer.invalidate(page_id)
+                data = self.file.read_page(page_id)
+                level, tuples, lo, hi = (
+                    self.serializer.deserialize_arrays(data)
+                )
             node = Node.from_arrays(page_id, level, tuples, lo, hi)
             self._nodes[page_id] = node
         return node

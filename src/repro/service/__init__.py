@@ -4,9 +4,13 @@ The serving layer the ROADMAP's north star asks for: register R-tree
 pairs once, then feed K-CPQ / K-NN / range requests to a bounded
 worker pool with per-request deadlines, cost-model-driven algorithm
 planning, a generation-keyed result cache, and a metrics snapshot for
-operators.  See ``docs/SERVICE.md`` for the architecture.
+operators.  See ``docs/SERVICE.md`` for the architecture and
+``docs/RESILIENCE.md`` for the fault-handling machinery (load
+shedding, per-pair circuit breakers, stale degraded serving).
 """
 
+from repro.errors import ServiceOverloadError
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import ResultCache, cache_key
 from repro.service.engine import (
     CPQRequest,
@@ -20,12 +24,15 @@ from repro.service.engine import (
     STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_OVERLOADED,
     STATUS_REJECTED,
+    STATUS_UNAVAILABLE,
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import PlanDecision, Planner
 
 __all__ = [
+    "CircuitBreaker",
     "CPQRequest",
     "DeadlineExceeded",
     "KNNRequest",
@@ -38,9 +45,12 @@ __all__ = [
     "ResultCache",
     "ServiceClosed",
     "ServiceMetrics",
+    "ServiceOverloadError",
     "STATUS_DEADLINE",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_OVERLOADED",
     "STATUS_REJECTED",
+    "STATUS_UNAVAILABLE",
     "cache_key",
 ]

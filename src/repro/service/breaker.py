@@ -1,0 +1,118 @@
+"""Per-tree-pair circuit breaker for the query service.
+
+When a registered pair's storage keeps failing (transient faults that
+exhaust their retries, detected page corruption), executing more
+queries against it just burns worker threads and hammers a struggling
+device.  The classic remedy is a circuit breaker (Nygard, *Release
+It!*): after ``failure_threshold`` consecutive storage failures the
+breaker *opens* and the service fails fast -- or serves a flagged
+stale cache entry -- without touching storage at all.  After
+``reset_timeout_s`` one probe request is let through (*half-open*); if
+it succeeds the breaker closes, if it fails the timer starts over.
+
+The breaker is deliberately storage-scoped: request-shaped errors
+(unknown algorithm, bad window) do not trip it, because they say
+nothing about the health of the pair.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+#: Breaker states, exposed via :attr:`CircuitBreaker.state`.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe three-state circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open the breaker.
+    reset_timeout_s:
+        Seconds the breaker stays open before allowing one probe.
+    clock:
+        Monotonic time source; injectable so tests can step time
+        instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Lifetime counters for metrics/debugging.
+        self.opens = 0
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` to ``half_open`` when the
+        reset timeout has elapsed."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In ``half_open`` exactly one caller gets True (the probe);
+        everyone else is rejected until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """A permitted request completed without a storage failure."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A permitted request hit a storage failure."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or (
+                self._failures >= self.failure_threshold
+            ):
+                if self._state != OPEN:
+                    self.opens += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    # -- internals ---------------------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+            self._probing = False

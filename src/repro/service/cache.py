@@ -53,6 +53,12 @@ class ResultCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        #: Last-known-good results keyed *without* generations:
+        #: ``(pair, params) -> value``.  Deliberately not dropped by
+        #: :meth:`invalidate_pair` -- this is the degraded-mode stock
+        #: the service may serve (flagged stale) while a pair's circuit
+        #: breaker is open.  Same capacity bound, LRU evicted.
+        self._stale: "OrderedDict[Tuple, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -81,6 +87,29 @@ class ResultCache:
             self._entries[key] = value
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+            # (pair, params) without the generations: the stale stock
+            # for breaker-open degraded serving.
+            stale_key = (key[0],) + tuple(key[3:])
+            if stale_key in self._stale:
+                self._stale.move_to_end(stale_key)
+            self._stale[stale_key] = value
+            while len(self._stale) > self.capacity:
+                self._stale.popitem(last=False)
+
+    def get_stale(self, pair: str, params: Tuple) -> Tuple[bool, Any]:
+        """Last known good result for ``(pair, params)``, any generation.
+
+        Degraded-mode lookup used while a pair's circuit breaker is
+        open: the result may predate mutations (hence *stale*) but was
+        computed correctly at some point.  Returns ``(found, value)``
+        without touching hit/miss accounting -- stale serves are
+        tallied separately by the service metrics.
+        """
+        with self._lock:
+            value = self._stale.get((pair,) + tuple(params), _MISS)
+            if value is _MISS:
+                return False, None
+            return True, value
 
     def invalidate_pair(self, pair: str) -> int:
         """Eagerly drop every entry of one registered pair.
@@ -98,6 +127,7 @@ class ResultCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
 
     def keys(self) -> list:
         """Snapshot of the current keys (oldest first); for tests."""

@@ -56,11 +56,13 @@ from repro.core.api import (
     k_closest_pairs,
 )
 from repro.core.height import FIX_AT_ROOT
+from repro.errors import ServiceOverloadError, StorageError
 from repro.geometry.mbr import MBR
 from repro.obs.trace import NULL_TRACER
 from repro.query.knn import nearest_neighbors
 from repro.query.range_query import range_query
 from repro.rtree.tree import RTree
+from repro.service.breaker import CLOSED, CircuitBreaker
 from repro.service.cache import ResultCache, cache_key
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import PlanDecision, Planner
@@ -69,6 +71,11 @@ STATUS_OK = "ok"
 STATUS_REJECTED = "rejected"
 STATUS_DEADLINE = "deadline_exceeded"
 STATUS_ERROR = "error"
+#: Shed at admission: queue depth reached the shedding threshold.
+STATUS_OVERLOADED = "overloaded"
+#: Refused at execution: the pair's circuit breaker is open and no
+#: stale result was available to degrade onto.
+STATUS_UNAVAILABLE = "unavailable"
 
 
 class ServiceClosed(RuntimeError):
@@ -209,9 +216,15 @@ class QueryResponse:
     algorithm: Optional[str] = None
     plan: Optional[PlanDecision] = None
     cached: bool = False
+    #: True when this is a last-known-good cache entry served while the
+    #: pair's circuit breaker was open; it may predate tree mutations.
+    stale: bool = False
     latency_ms: float = 0.0
     disk_reads: int = 0
     buffer_hits: int = 0
+    #: Transient-read retries the buffer pool spent on this query
+    #: (subject to the same concurrency caveat as ``disk_reads``).
+    read_retries: int = 0
     error: Optional[str] = None
 
     @property
@@ -252,13 +265,17 @@ class _RegisteredPair:
     """Service-side state of one (tree_p, tree_q) registration."""
 
     __slots__ = ("name", "tree_p", "tree_q", "lock", "shapes",
-                 "seen_generations")
+                 "seen_generations", "breaker")
 
-    def __init__(self, name: str, tree_p: RTree, tree_q: RTree):
+    def __init__(self, name: str, tree_p: RTree, tree_q: RTree,
+                 breaker: Optional[CircuitBreaker] = None):
         self.name = name
         self.tree_p = tree_p
         self.tree_q = tree_q
         self.lock = threading.Lock()
+        #: Storage-scoped circuit breaker; tripped by StorageError
+        #: executions against this pair only.
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         #: ``(shape_p, shape_q)`` for the planner, or None before the
         #: first CPQ / after a mutation.  A shape is itself None when
         #: the cost model cannot describe the tree.
@@ -306,6 +323,18 @@ class QueryService:
         for one CPQ.  ``1`` (the default) keeps queries serial;
         requests with ``workers=0`` (auto) let the planner decide
         within this budget, explicit ``workers>=1`` are capped by it.
+    shed_threshold:
+        Queue depth at which admission starts *shedding*: submits
+        arriving while ``qsize() >= shed_threshold`` resolve
+        immediately as ``overloaded`` (typed via
+        :class:`repro.errors.ServiceOverloadError`) instead of joining
+        the queue.  Must be <= ``queue_size`` to ever matter before
+        hard rejection.  ``None`` (the default) disables shedding.
+    breaker_factory:
+        Builds the per-pair :class:`~repro.service.breaker.
+        CircuitBreaker` at registration; defaults to
+        ``CircuitBreaker()`` (5 consecutive storage failures open it
+        for 30 s).  Inject a factory to tune thresholds or the clock.
     """
 
     def __init__(
@@ -318,6 +347,8 @@ class QueryService:
         metrics: Optional[ServiceMetrics] = None,
         tracer=None,
         max_query_workers: int = 1,
+        shed_threshold: Optional[int] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -325,6 +356,13 @@ class QueryService:
             raise ValueError("queue_size must be >= 1")
         if max_query_workers < 1:
             raise ValueError("max_query_workers must be >= 1")
+        if shed_threshold is not None and shed_threshold < 1:
+            raise ValueError("shed_threshold must be >= 1")
+        self.shed_threshold = shed_threshold
+        self._breaker_factory = (
+            breaker_factory if breaker_factory is not None
+            else CircuitBreaker
+        )
         self.default_deadline_ms = default_deadline_ms
         #: Cap on *intra-query* parallelism (the partitioned executor's
         #: worker threads), independent of the ``workers`` pool that
@@ -367,7 +405,9 @@ class QueryService:
         if tree_p.dimension != tree_q.dimension:
             raise ValueError("trees index points of different dimensions")
         with self._pairs_lock:
-            self._pairs[name] = _RegisteredPair(name, tree_p, tree_q)
+            self._pairs[name] = _RegisteredPair(
+                name, tree_p, tree_q, breaker=self._breaker_factory()
+            )
 
     def pairs(self) -> List[str]:
         with self._pairs_lock:
@@ -405,6 +445,17 @@ class QueryService:
                 error="service closed",
             ))
             return pending
+        if self.shed_threshold is not None:
+            depth = self._queue.qsize()
+            if depth >= self.shed_threshold:
+                self.metrics.record_shed()
+                self._finish(pending, QueryResponse(
+                    status=STATUS_OVERLOADED, kind=request.kind,
+                    error=str(ServiceOverloadError(
+                        depth, self.shed_threshold
+                    )),
+                ))
+                return pending
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -594,6 +645,7 @@ class QueryService:
             disk_reads=response.disk_reads,
             buffer_hits=response.buffer_hits,
             algorithm=response.algorithm,
+            read_retries=response.read_retries,
         )
         pending._resolve(response)
 
@@ -645,16 +697,56 @@ class QueryService:
                 )
             self.metrics.record_cache_miss()
 
+        if not pair.breaker.allow():
+            # Breaker open (or half-open with the probe slot taken):
+            # fail fast without touching the suspect storage.  Degrade
+            # onto the last known good result when the caller accepts
+            # caching, flagged ``stale`` because it may predate
+            # mutations.
+            self.metrics.record_breaker_rejection()
+            if request.use_cache and self.cache.capacity > 0:
+                found, value = self.cache.get_stale(
+                    pair.name, request.cache_params()
+                )
+                if found:
+                    self.metrics.record_stale_served()
+                    return QueryResponse(
+                        status=STATUS_OK, kind=request.kind,
+                        result=value["result"],
+                        algorithm=value["algorithm"],
+                        plan=value["plan"],
+                        cached=True, stale=True,
+                    )
+            return QueryResponse(
+                status=STATUS_UNAVAILABLE, kind=request.kind,
+                error=(f"circuit breaker open for pair {pair.name!r} "
+                       f"and no stale result available"),
+            )
+
         before_p = pair.tree_p.stats.snapshot()
         before_q = pair.tree_q.stats.snapshot()
-        if request.kind == "cpq":
-            result, algorithm, plan = self._run_cpq(
-                pair, request, deadline, preplanned
-            )
-        elif request.kind == "knn":
-            result, algorithm, plan = self._run_knn(pair, request, deadline)
-        else:
-            result, algorithm, plan = self._run_range(pair, request, deadline)
+        try:
+            if request.kind == "cpq":
+                result, algorithm, plan = self._run_cpq(
+                    pair, request, deadline, preplanned
+                )
+            elif request.kind == "knn":
+                result, algorithm, plan = self._run_knn(
+                    pair, request, deadline
+                )
+            else:
+                result, algorithm, plan = self._run_range(
+                    pair, request, deadline
+                )
+        except StorageError as exc:
+            # Retries are already exhausted (or corruption confirmed)
+            # by the storage layer when this surfaces: count it against
+            # the pair's breaker and the fault tally, then let
+            # _guarded_execute shape the error response.
+            pair.breaker.record_failure()
+            self.metrics.record_storage_fault(type(exc).__name__)
+            raise
+        pair.breaker.record_success()
         after_p = pair.tree_p.stats.snapshot()
         after_q = pair.tree_q.stats.snapshot()
         disk_reads = (
@@ -665,6 +757,10 @@ class QueryService:
             (after_p.buffer_hits - before_p.buffer_hits)
             + (after_q.buffer_hits - before_q.buffer_hits)
         )
+        read_retries = (
+            (after_p.read_retries - before_p.read_retries)
+            + (after_q.read_retries - before_q.read_retries)
+        )
         if key is not None:
             self.cache.put(
                 key,
@@ -674,6 +770,7 @@ class QueryService:
             status=STATUS_OK, kind=request.kind,
             result=result, algorithm=algorithm, plan=plan,
             disk_reads=disk_reads, buffer_hits=buffer_hits,
+            read_retries=read_retries,
         )
 
     def _run_cpq(
@@ -694,6 +791,7 @@ class QueryService:
                     tracer=self.tracer,
                     workers=(self.max_query_workers
                              if request.workers == 0 else 1),
+                    degraded=pair.breaker.state != CLOSED,
                 )
             algorithm = plan.algorithm
             self.metrics.record_planner_decision(algorithm)
@@ -717,6 +815,8 @@ class QueryService:
             cancel_check=self._deadline_probe(deadline),
             tracer=self.tracer,
         )
+        if result.stats.extra.get("parallel_fallback"):
+            self.metrics.record_parallel_fallback()
         return result, algorithm, plan
 
     def _run_knn(

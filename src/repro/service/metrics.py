@@ -56,8 +56,16 @@ class ServiceMetrics:
         self._latency_by_algorithm: Dict[str, list] = {}
         self._disk_reads = 0
         self._buffer_hits = 0
+        self._read_retries = 0
         self._queue_depth = 0
         self._queue_depth_max = 0
+        #: Load-shedding and breaker counters (the resilience section).
+        self._shed = 0
+        self._breaker_rejections = 0
+        self._stale_served = 0
+        self._parallel_fallbacks = 0
+        #: Storage faults observed by executions: error type -> count.
+        self._storage_faults: Dict[str, int] = {}
         #: Span rollups fed by traced requests: name -> [count, total_ms].
         self._spans: Dict[str, list] = {}
 
@@ -76,6 +84,7 @@ class ServiceMetrics:
         disk_reads: int = 0,
         buffer_hits: int = 0,
         algorithm: Optional[str] = None,
+        read_retries: int = 0,
     ) -> None:
         """Record one finished (or rejected) query.
 
@@ -106,6 +115,34 @@ class ServiceMetrics:
                 summary[4][bucket] += 1
             self._disk_reads += disk_reads
             self._buffer_hits += buffer_hits
+            self._read_retries += read_retries
+
+    def record_shed(self) -> None:
+        """One request shed at admission (queue over the threshold)."""
+        with self._lock:
+            self._shed += 1
+
+    def record_breaker_rejection(self) -> None:
+        """One request refused because its pair's breaker was open."""
+        with self._lock:
+            self._breaker_rejections += 1
+
+    def record_stale_served(self) -> None:
+        """One breaker-open request answered from the stale stock."""
+        with self._lock:
+            self._stale_served += 1
+
+    def record_storage_fault(self, error_type: str) -> None:
+        """One execution failed with a storage error of this type."""
+        with self._lock:
+            self._storage_faults[error_type] = (
+                self._storage_faults.get(error_type, 0) + 1
+            )
+
+    def record_parallel_fallback(self) -> None:
+        """One CPQ degraded from the partitioned executor to serial."""
+        with self._lock:
+            self._parallel_fallbacks += 1
 
     @staticmethod
     def _bucket_index(latency_ms: float) -> int:
@@ -202,10 +239,21 @@ class ServiceMetrics:
                 "io": {
                     "disk_reads": self._disk_reads,
                     "buffer_hits": self._buffer_hits,
+                    "read_retries": self._read_retries,
                 },
                 "queue": {
                     "depth": self._queue_depth,
                     "max_depth": self._queue_depth_max,
+                },
+                # Fault handling: shed load, breaker activity, stale
+                # serves and the storage errors behind them (see
+                # docs/RESILIENCE.md for the taxonomy).
+                "resilience": {
+                    "shed": self._shed,
+                    "breaker_rejections": self._breaker_rejections,
+                    "stale_served": self._stale_served,
+                    "parallel_fallbacks": self._parallel_fallbacks,
+                    "storage_faults": dict(self._storage_faults),
                 },
                 # Process-wide pairwise-kernel tallies (calls and entry
                 # pairs per kernel, scalar path under *_scalar).  These

@@ -108,6 +108,7 @@ class Planner:
         k: int = 1,
         tracer=NULL_TRACER,
         workers: int = 1,
+        degraded: bool = False,
     ) -> PlanDecision:
         """Pick an algorithm for one K-CPQ against a shaped tree pair.
 
@@ -134,6 +135,10 @@ class Planner:
             Optional :class:`repro.obs.Tracer`; when enabled, the
             decision is recorded as a ``plan`` span carrying the full
             evidence (:meth:`PlanDecision.as_dict`).
+        degraded:
+            The pair's storage is suspect (its circuit breaker is not
+            closed): cap the plan at one worker so a struggling device
+            is not hit by a fan-out of parallel readers.
 
         Returns
         -------
@@ -142,6 +147,8 @@ class Planner:
             (``estimated_accesses`` in disk accesses,
             ``estimated_distance`` in workspace units).
         """
+        if degraded:
+            workers = 1
         if not tracer.enabled:
             decision = self._decide(shape_p, shape_q, buffer_pages, k,
                                     workers)
@@ -150,6 +157,8 @@ class Planner:
                 decision = self._decide(shape_p, shape_q, buffer_pages, k,
                                         workers)
                 span.annotate(**decision.as_dict())
+                if degraded:
+                    span.annotate(degraded=True)
         spec = ALGORITHM_REGISTRY[decision.algorithm]
         assert spec.plannable, f"planner chose unplannable {spec.name!r}"
         return decision

@@ -11,25 +11,51 @@ subpackage provides that substrate:
 * :mod:`~repro.storage.store` -- page stores: an in-memory store for
   experiments and a file-backed store proving the layout really fits.
 * :mod:`~repro.storage.buffer` -- the LRU buffer pool with hit/miss
-  accounting (Section 4.3.3 dedicates B/2 pages to each tree).
+  accounting (Section 4.3.3 dedicates B/2 pages to each tree) and
+  bounded retry of transient faults.
 * :mod:`~repro.storage.stats` -- I/O counters reported by every
   experiment.
+* :mod:`~repro.storage.faults` -- deterministic fault injection
+  (transient errors, latency spikes, bit-flips, torn writes) for the
+  resilience stack; see ``docs/RESILIENCE.md``.
 """
 
-from repro.storage.buffer import LRUBuffer
-from repro.storage.page import PageLayout
+from repro.storage.buffer import (
+    DEFAULT_RETRY_POLICY,
+    LRUBuffer,
+    RetryPolicy,
+)
+from repro.storage.faults import (
+    SCHEDULES,
+    FaultPlan,
+    FaultStats,
+    FaultyPageStore,
+    wrap_tree_store,
+    unwrap_tree_store,
+)
+from repro.storage.page import PAGE_FORMAT_VERSION, PageLayout
 from repro.storage.paged_file import PagedFile
-from repro.storage.serializer import NodeSerializer
+from repro.storage.serializer import NodeSerializer, page_checksum
 from repro.storage.stats import IOStats
 from repro.storage.store import FilePageStore, MemoryPageStore, PageStore
 
 __all__ = [
     "PageLayout",
+    "PAGE_FORMAT_VERSION",
     "NodeSerializer",
+    "page_checksum",
     "PageStore",
     "MemoryPageStore",
     "FilePageStore",
+    "FaultyPageStore",
+    "FaultPlan",
+    "FaultStats",
+    "SCHEDULES",
+    "wrap_tree_store",
+    "unwrap_tree_store",
     "LRUBuffer",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "PagedFile",
     "IOStats",
 ]

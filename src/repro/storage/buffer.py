@@ -1,4 +1,4 @@
-"""LRU buffer pool with hit/miss accounting.
+"""LRU buffer pool with hit/miss accounting and transient-fault retry.
 
 Section 4.3.3 of the paper studies algorithm sensitivity to an LRU
 buffer of B pages, "dedicated to each R-tree as two equal portions of
@@ -16,25 +16,69 @@ customise behaviour through three hooks (:meth:`_touch`,
 :meth:`_register`, :meth:`_evict_one`) rather than overriding the
 locked entry points, which keeps them thread-safe for free and makes
 :meth:`resize` evict with the same policy as normal admission.
+
+A miss whose loader raises :class:`repro.errors.TransientIOError` is
+retried with bounded exponential backoff (:class:`RetryPolicy`);
+retries count in :attr:`IOStats.read_retries`, exhausted reads in
+:attr:`IOStats.read_failures`.  A failed load leaves the buffer
+untouched -- no phantom frame is admitted and no hit/miss counter
+moves until a load actually succeeds.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.errors import TransientIOError
 from repro.storage.stats import IOStats
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff for transient read faults.
+
+    ``max_attempts`` counts the initial try: 4 means one read plus up
+    to three retries.  ``sleep`` is injectable so tests (and the fault
+    harness) run without wall-clock delays.
+    """
+
+    max_attempts: int = 4
+    backoff_s: float = 0.001
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.050
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+
+
+#: Policy applied by buffers constructed without an explicit one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 class LRUBuffer:
     """Fixed-capacity page cache with least-recently-used eviction."""
 
-    def __init__(self, capacity: int, stats: Optional[IOStats] = None):
+    def __init__(self, capacity: int, stats: Optional[IOStats] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         if capacity < 0:
             raise ValueError("buffer capacity must be >= 0")
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStats()
+        #: Backoff schedule applied when a loader raises
+        #: :class:`~repro.errors.TransientIOError`.
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
         #: Optional read observer, called as ``on_read(page_id, hit)``
         #: after every :meth:`read`, outside the buffer lock.  Installed
         #: by :meth:`repro.obs.Tracer.watch_buffer` to attribute page
@@ -61,6 +105,12 @@ class LRUBuffer:
         Two threads missing on the same page concurrently both call the
         loader and both count a disk access -- the same double fault a
         real unsynchronised disk cache would take.
+
+        Transient loader faults are retried per :attr:`retry_policy`.
+        A load that ultimately fails propagates the error with the
+        buffer exactly as it was: nothing admitted, no hit or miss
+        counted (only ``read_retries`` / ``read_failures`` moved), so
+        a later retry of the same read starts clean.
         """
         self._acquire_counted()
         try:
@@ -72,7 +122,7 @@ class LRUBuffer:
         finally:
             self._lock.release()
         if data is None:
-            data = loader(page_id)
+            data = self._load_retrying(page_id, loader)
             self._acquire_counted()
             try:
                 self.stats.disk_reads += 1
@@ -83,6 +133,33 @@ class LRUBuffer:
         if self.on_read is not None:
             self.on_read(page_id, hit)
         return data
+
+    def _load_retrying(
+        self, page_id: int, loader: Callable[[int], bytes]
+    ) -> bytes:
+        """Run one loader call through the retry policy (no lock held).
+
+        Only :class:`~repro.errors.TransientIOError` is retried; other
+        errors (corruption, missing page) propagate immediately --
+        retrying cannot fix them.
+        """
+        policy = self.retry_policy
+        delay = policy.backoff_s
+        attempt = 1
+        while True:
+            try:
+                return loader(page_id)
+            except TransientIOError:
+                if attempt >= policy.max_attempts:
+                    with self._lock:
+                        self.stats.read_failures += 1
+                    raise
+                with self._lock:
+                    self.stats.read_retries += 1
+                if delay > 0:
+                    policy.sleep(delay)
+                delay = min(delay * policy.multiplier, policy.max_backoff_s)
+                attempt += 1
 
     def put(self, page_id: int, data: bytes) -> None:
         """Install a freshly written page image (write-through cache)."""

@@ -1,0 +1,247 @@
+"""Deterministic fault injection for page stores.
+
+:class:`FaultyPageStore` wraps any :class:`~repro.storage.store.PageStore`
+and injects storage failures according to a seed-driven
+:class:`FaultPlan`: transient ``TransientIOError`` reads, read-latency
+spikes, single bit-flips on the bytes returned by ``read`` (the wire /
+controller corruption a checksum must catch), torn writes that persist
+only a prefix of the page, and explicit fail-N-then-succeed schedules
+for targeted tests.
+
+Everything is deterministic given ``(plan.seed, operation sequence)``:
+the wrapper draws from one private :class:`random.Random`, so a
+workload replayed against the same plan sees the same faults in the
+same places.  ``max_consecutive`` bounds runs of transient failures on
+one page, so a retry policy with more attempts than that provably
+survives any transient schedule the plan can emit.
+
+The wrapper is the test double for the whole resilience stack
+(checksums, retrying buffer, circuit breaker, chaos CLI); see
+``docs/RESILIENCE.md``.  Named plans used by ``repro-cpq chaos`` live
+in :data:`SCHEDULES`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import TransientIOError
+from repro.storage.store import PageStore
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One named fault schedule: probabilities and shapes of injected
+    failures.
+
+    All probabilities are per-operation.  ``latency_s`` is slept (via
+    the store's injectable ``sleep``) when a latency spike fires, so
+    tests can stub it out.
+    """
+
+    seed: int = 0
+    #: Probability a ``read`` raises :class:`TransientIOError`.
+    p_transient: float = 0.0
+    #: Probability a ``read`` sleeps ``latency_s`` first.
+    p_latency: float = 0.0
+    latency_s: float = 0.001
+    #: Probability a ``read`` returns the page with one bit flipped
+    #: (the stored bytes stay intact -- a re-read can heal).
+    p_bitflip: float = 0.0
+    #: Probability a ``write`` persists only a prefix of the page,
+    #: zero-filling the tail (a torn write; detected on next read by
+    #: the page checksum).
+    p_torn_write: float = 0.0
+    #: Upper bound on back-to-back transient failures of one page; a
+    #: retry policy with ``max_attempts > max_consecutive`` always
+    #: gets through.
+    max_consecutive: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("p_transient", "p_latency", "p_bitflip",
+                     "p_torn_write"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.max_consecutive < 1:
+            raise ValueError("max_consecutive must be >= 1")
+
+
+#: Named plans for the chaos harness (``repro-cpq chaos --schedule``).
+#: Probabilities stay at or below the acceptance bound p <= 0.05.
+SCHEDULES: Dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    "transient": FaultPlan(p_transient=0.05),
+    "latency": FaultPlan(p_latency=0.05, latency_s=0.0005),
+    "bitflip": FaultPlan(p_bitflip=0.02),
+    "torn": FaultPlan(p_torn_write=0.05),
+    "mixed": FaultPlan(p_transient=0.03, p_latency=0.02,
+                       latency_s=0.0005, p_bitflip=0.01),
+}
+
+
+@dataclass
+class FaultStats:
+    """Counters of what the wrapper actually injected."""
+
+    reads: int = 0
+    writes: int = 0
+    transient_raised: int = 0
+    latency_spikes: int = 0
+    bits_flipped: int = 0
+    torn_writes: int = 0
+    scheduled_failures: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Total injected faults of any kind."""
+        return (self.transient_raised + self.latency_spikes
+                + self.bits_flipped + self.torn_writes
+                + self.scheduled_failures)
+
+
+class FaultyPageStore:
+    """A :class:`PageStore` that fails on purpose.
+
+    Satisfies the page-store protocol by delegating to ``inner`` and
+    layering the plan's faults on the read/write paths.  ``allocate``,
+    ``free`` and ``__len__`` pass straight through -- structural
+    operations are assumed reliable so trees can be *built* cleanly and
+    then queried under fire (wrap the store after construction, or use
+    :func:`repro.cli.main` ``chaos`` which does exactly that).
+
+    ``fail_reads[page_id] = n`` arms a deterministic
+    fail-N-then-succeed schedule: the next ``n`` reads of that page
+    raise :class:`TransientIOError` regardless of probabilities, then
+    reads succeed again.  :meth:`flip_bit` applies *persistent*
+    corruption to the stored image, modelling at-rest damage that no
+    retry can heal (the checksum must surface it).
+    """
+
+    def __init__(
+        self,
+        inner: PageStore,
+        plan: FaultPlan = FaultPlan(),
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.page_size = inner.page_size
+        self.faults = FaultStats()
+        #: Per-page countdown of forced transient read failures.
+        self.fail_reads: Dict[int, int] = {}
+        self._rng = random.Random(plan.seed)
+        self._consecutive: Dict[int, int] = {}
+        self._sleep = sleep
+
+    # -- pass-through ------------------------------------------------------
+
+    def allocate(self) -> int:
+        return self.inner.allocate()
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __getattr__(self, name: str):
+        # flush/close/path of file-backed inner stores remain reachable.
+        return getattr(self.inner, name)
+
+    # -- faulted paths -----------------------------------------------------
+
+    def read(self, page_id: int) -> bytes:
+        self.faults.reads += 1
+        armed = self.fail_reads.get(page_id, 0)
+        if armed > 0:
+            self.fail_reads[page_id] = armed - 1
+            self.faults.scheduled_failures += 1
+            raise TransientIOError(
+                f"injected scheduled failure on page {page_id} "
+                f"({armed - 1} remaining)"
+            )
+        plan = self.plan
+        if plan.p_latency and self._rng.random() < plan.p_latency:
+            self.faults.latency_spikes += 1
+            self._sleep(plan.latency_s)
+        if plan.p_transient and self._rng.random() < plan.p_transient:
+            streak = self._consecutive.get(page_id, 0)
+            if streak < plan.max_consecutive:
+                self._consecutive[page_id] = streak + 1
+                self.faults.transient_raised += 1
+                raise TransientIOError(
+                    f"injected transient fault on page {page_id}"
+                )
+        self._consecutive.pop(page_id, None)
+        data = self.inner.read(page_id)
+        if plan.p_bitflip and self._rng.random() < plan.p_bitflip:
+            data = self._flip_random_bit(data, page_id)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self.faults.writes += 1
+        plan = self.plan
+        if plan.p_torn_write and self._rng.random() < plan.p_torn_write:
+            self.faults.torn_writes += 1
+            keep = self._rng.randrange(1, len(data))
+            data = data[:keep] + b"\x00" * (len(data) - keep)
+        self.inner.write(page_id, data)
+
+    # -- targeted corruption ----------------------------------------------
+
+    def flip_bit(self, page_id: int,
+                 bit_index: Optional[int] = None) -> int:
+        """Persistently flip one bit of the stored page image.
+
+        Returns the flipped bit index (random when not given).  Unlike
+        the plan's ``p_bitflip`` -- which corrupts only the returned
+        copy -- this damages the page at rest, so every subsequent read
+        observes the corruption until the page is rewritten.
+        """
+        image = bytearray(self.inner.read(page_id))
+        if bit_index is None:
+            bit_index = self._rng.randrange(len(image) * 8)
+        image[bit_index // 8] ^= 1 << (bit_index % 8)
+        self.inner.write(page_id, bytes(image))
+        self.faults.bits_flipped += 1
+        return bit_index
+
+    def _flip_random_bit(self, data: bytes, page_id: int) -> bytes:
+        self.faults.bits_flipped += 1
+        image = bytearray(data)
+        bit_index = self._rng.randrange(len(image) * 8)
+        image[bit_index // 8] ^= 1 << (bit_index % 8)
+        return bytes(image)
+
+
+def wrap_tree_store(tree, plan: FaultPlan,
+                    sleep: Callable[[float], None] = time.sleep,
+                    ) -> FaultyPageStore:
+    """Swap a tree's backing store for a faulty wrapper, in place.
+
+    The tree keeps its buffer, stats and decoded-node cache; only the
+    bytes underneath start failing.  Returns the wrapper so callers can
+    inspect :attr:`FaultyPageStore.faults` or arm schedules.  The
+    buffer is cleared so the workload actually reaches the faulty
+    store instead of being absorbed by warm frames.
+    """
+    wrapper = FaultyPageStore(tree.file.store, plan, sleep=sleep)
+    tree.file.store = wrapper
+    tree.file.buffer.clear()
+    # Decoded-node cache would mask reads entirely; queries must hit
+    # the (faulty) storage stack to exercise it.
+    tree._nodes.clear()
+    return wrapper
+
+
+def unwrap_tree_store(tree) -> None:
+    """Undo :func:`wrap_tree_store`, restoring the clean inner store."""
+    store = tree.file.store
+    if isinstance(store, FaultyPageStore):
+        tree.file.store = store.inner
+        tree.file.buffer.clear()
+        tree._nodes.clear()

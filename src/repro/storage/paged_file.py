@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.storage.buffer import LRUBuffer
+from repro.storage.buffer import LRUBuffer, RetryPolicy
 from repro.storage.stats import IOStats
 from repro.storage.store import MemoryPageStore, PageStore
 
@@ -24,6 +24,10 @@ class PagedFile:
     sleep happens outside the buffer lock and releases the GIL, so
     concurrent queries (see :mod:`repro.service`) overlap their
     simulated I/O waits exactly as threads overlap real disk waits.
+
+    ``retry_policy`` overrides the buffer's transient-fault backoff
+    schedule (see :class:`repro.storage.buffer.RetryPolicy`); the
+    module default is used when omitted.
     """
 
     def __init__(
@@ -33,6 +37,7 @@ class PagedFile:
         page_size: int = 1024,
         buffer_policy: str = "lru",
         read_latency: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.store: PageStore = (
             store if store is not None else MemoryPageStore(page_size)
@@ -48,6 +53,8 @@ class PagedFile:
             self.buffer = make_buffer(
                 buffer_policy, buffer_capacity, self.stats
             )
+        if retry_policy is not None:
+            self.buffer.retry_policy = retry_policy
 
     @property
     def page_size(self) -> int:

@@ -1,9 +1,11 @@
-"""Byte-level node (de)serialisation.
+"""Byte-level node (de)serialisation with page checksums.
 
 Pages hold a small header followed by fixed-size entry slots:
 
-* header: ``level`` (int32; 0 for leaves) and ``count`` (int32),
-  padded to 16 bytes.
+* header: ``level`` (int32; 0 for leaves), ``count`` (int32),
+  ``version`` (uint16, see
+  :data:`~repro.storage.page.PAGE_FORMAT_VERSION`), a reserved uint16,
+  and a CRC32 checksum (uint32) -- 16 bytes total.
 * leaf entry: ``dimension`` float64 coordinates + int64 object id.
 * internal entry: ``2 * dimension`` float64 MBR bounds (lows then
   highs) + int64 child page id.
@@ -12,24 +14,45 @@ Entries are padded to the layout's fixed slot size so capacity
 arithmetic (and the paper's M = 21 for 1 KiB pages) is exact.  The
 serializer is deliberately independent of the R-tree classes: it deals
 in plain tuples, and :mod:`repro.rtree.node` adapts them.
+
+The checksum covers the whole page with the CRC field itself zeroed.
+Version-0 pages (written before checksumming; header tail is all
+zeros) are still readable but carry no checksum; every page this
+serializer writes is version 1, and a version-1 page whose checksum
+does not match raises :class:`repro.errors.PageCorruptionError` --
+corruption is loud, never a silently wrong node.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.storage.page import HEADER_SIZE, PageLayout
+from repro.errors import PageCorruptionError
+from repro.storage.page import HEADER_SIZE, PAGE_FORMAT_VERSION, PageLayout
 
 #: (coords, object_id)
 LeafEntryTuple = Tuple[Tuple[float, ...], int]
 #: (lo, hi, child_page_id)
 InternalEntryTuple = Tuple[Tuple[float, ...], Tuple[float, ...], int]
 
-_HEADER = struct.Struct("<ii8x")  # level, count, pad to 16 bytes
+#: level, count, version, reserved, crc32 -- 16 bytes.
+_HEADER = struct.Struct("<iiHHI")
 assert _HEADER.size == HEADER_SIZE
+
+#: Byte span of the CRC32 field inside the header.
+_CRC_OFFSET = 12
+_CRC_END = 16
+
+
+def page_checksum(page: bytes) -> int:
+    """CRC32 of a page image with the checksum field zeroed."""
+    return zlib.crc32(
+        page[:_CRC_OFFSET] + b"\x00\x00\x00\x00" + page[_CRC_END:]
+    ) & 0xFFFFFFFF
 
 
 class PageOverflowError(ValueError):
@@ -96,26 +119,45 @@ class NodeSerializer:
                 f"{self.layout.max_entries}"
             )
         slot = self.layout.entry_size
-        parts = [_HEADER.pack(level, len(entries))]
+        parts = [
+            _HEADER.pack(level, len(entries), PAGE_FORMAT_VERSION, 0, 0)
+        ]
         for entry in entries:
             raw = pack(entry)
             parts.append(raw)
             parts.append(b"\x00" * (slot - len(raw)))
         payload = b"".join(parts)
-        return payload + b"\x00" * (self.layout.page_size - len(payload))
+        page = payload + b"\x00" * (self.layout.page_size - len(payload))
+        crc = struct.pack("<I", page_checksum(page))
+        return page[:_CRC_OFFSET] + crc + page[_CRC_END:]
 
     # -- deserialisation -----------------------------------------------------
 
     def _read_header(self, page: bytes) -> Tuple[int, int]:
         if len(page) != self.layout.page_size:
-            raise ValueError(
+            raise PageCorruptionError(
                 f"page of {len(page)} bytes; expected {self.layout.page_size}"
             )
-        level, count = _HEADER.unpack_from(page, 0)
+        level, count, version, _reserved, crc = _HEADER.unpack_from(page, 0)
+        if version == PAGE_FORMAT_VERSION:
+            actual = page_checksum(page)
+            if actual != crc:
+                raise PageCorruptionError(
+                    f"corrupt page: CRC32 mismatch (stored {crc:#010x}, "
+                    f"computed {actual:#010x})"
+                )
+        elif version != 0:
+            # Version 0 is the pre-checksum layout (padding bytes);
+            # anything else is damage or a future format.
+            raise PageCorruptionError(
+                f"corrupt page: unknown format version {version}"
+            )
         if level < 0:
-            raise ValueError(f"corrupt page: negative level {level}")
+            raise PageCorruptionError(
+                f"corrupt page: negative level {level}"
+            )
         if not 0 <= count <= self.layout.max_entries:
-            raise ValueError(
+            raise PageCorruptionError(
                 f"corrupt page: entry count {count} outside "
                 f"[0, {self.layout.max_entries}]"
             )

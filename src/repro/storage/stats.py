@@ -21,6 +21,15 @@ class IOStats:
     disk_reads: int = 0
     #: Page writes (tree construction only; queries never write).
     disk_writes: int = 0
+    #: Transient read faults absorbed by the buffer's retry loop
+    #: (each retry attempt counts one; see
+    #: :class:`repro.storage.buffer.RetryPolicy`).
+    read_retries: int = 0
+    #: Reads that exhausted their retries and raised.
+    read_failures: int = 0
+    #: Checksum/corruption detections observed while decoding pages
+    #: (counted whether or not a buffer-drop-and-reread healed them).
+    corrupt_reads: int = 0
 
     @property
     def reads(self) -> int:
@@ -37,16 +46,29 @@ class IOStats:
         self.buffer_hits = 0
         self.disk_reads = 0
         self.disk_writes = 0
+        self.read_retries = 0
+        self.read_failures = 0
+        self.corrupt_reads = 0
 
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counter values."""
-        return IOStats(self.buffer_hits, self.disk_reads, self.disk_writes)
+        return IOStats(
+            self.buffer_hits,
+            self.disk_reads,
+            self.disk_writes,
+            self.read_retries,
+            self.read_failures,
+            self.corrupt_reads,
+        )
 
     def add(self, other: "IOStats") -> None:
         """Accumulate another counter set into this one."""
         self.buffer_hits += other.buffer_hits
         self.disk_reads += other.disk_reads
         self.disk_writes += other.disk_writes
+        self.read_retries += other.read_retries
+        self.read_failures += other.read_failures
+        self.corrupt_reads += other.corrupt_reads
 
 
 @dataclass

@@ -16,6 +16,8 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Protocol
 
+from repro.errors import PageCorruptionError
+
 
 class PageStore(Protocol):
     """Minimal page-granular storage interface."""
@@ -132,7 +134,16 @@ class FilePageStore:
     def read(self, page_id: int) -> bytes:
         self._check(page_id)
         self._file.seek(page_id * self.page_size)
-        return self._file.read(self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            # A truncated file (partial write, lost tail) must fail
+            # loudly here, not as a confusing serializer error later.
+            raise PageCorruptionError(
+                f"short read of page {page_id} from {self.path}: got "
+                f"{len(data)} bytes, expected {self.page_size}",
+                page_id=page_id,
+            )
+        return data
 
     def write(self, page_id: int, data: bytes) -> None:
         self._check_writable()

@@ -12,8 +12,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage.page import HEADER_SIZE, PageLayout
-from repro.storage.serializer import NodeSerializer
+from repro.errors import PageCorruptionError
+from repro.storage.page import HEADER_SIZE, PAGE_FORMAT_VERSION, PageLayout
+from repro.storage.serializer import NodeSerializer, page_checksum
 
 
 class TestSerializerFuzz:
@@ -61,9 +62,100 @@ class TestSerializerFuzz:
         assert decoded == entries
 
 
+#: Finite coordinates that survive an exact f8 round-trip.
+coordinates = st.floats(
+    allow_nan=False, allow_infinity=False, width=64,
+    min_value=-1e12, max_value=1e12,
+)
+leaf_entries = st.lists(
+    st.tuples(st.tuples(coordinates, coordinates),
+              st.integers(min_value=0, max_value=2 ** 40)),
+    min_size=0, max_size=21,
+)
+internal_entries = st.lists(
+    st.tuples(st.tuples(coordinates, coordinates),
+              st.tuples(coordinates, coordinates),
+              st.integers(min_value=0, max_value=2 ** 20)),
+    min_size=0, max_size=21,
+)
+
+
+class TestChecksumProperties:
+    """Property tests of the version-1 checksummed page format."""
+
+    layout = PageLayout(page_size=1024)
+
+    def make(self):
+        return NodeSerializer(self.layout)
+
+    @given(leaf_entries)
+    @settings(max_examples=40)
+    def test_leaf_roundtrip_verifies(self, entries):
+        serializer = self.make()
+        page = serializer.serialize_leaf(entries)
+        level, decoded = serializer.deserialize(page)
+        assert level == 0
+        assert decoded == entries
+        # The embedded CRC matches a recomputation over the page.
+        stored = struct.unpack_from("<I", page, 12)[0]
+        assert stored == page_checksum(page)
+
+    @given(internal_entries, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40)
+    def test_internal_roundtrip_verifies(self, entries, level):
+        serializer = self.make()
+        page = serializer.serialize_internal(level, entries)
+        got_level, decoded = serializer.deserialize(page)
+        assert got_level == level
+        assert decoded == entries
+
+    @given(leaf_entries, st.integers(min_value=0, max_value=1024 * 8 - 1))
+    @settings(max_examples=40)
+    def test_any_single_bitflip_detected_leaf(self, entries, bit):
+        serializer = self.make()
+        page = bytearray(serializer.serialize_leaf(entries))
+        page[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(PageCorruptionError):
+            serializer.deserialize(bytes(page))
+
+    @given(internal_entries,
+           st.integers(min_value=1, max_value=10),
+           st.integers(min_value=0, max_value=1024 * 8 - 1))
+    @settings(max_examples=40)
+    def test_any_single_bitflip_detected_internal(
+        self, entries, level, bit
+    ):
+        serializer = self.make()
+        page = bytearray(serializer.serialize_internal(level, entries))
+        page[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(PageCorruptionError):
+            serializer.deserialize(bytes(page))
+
+    def test_legacy_version_zero_pages_still_read(self):
+        """Pages written before the checksum era (zeroed padding) are
+        decoded without verification -- backward compatibility."""
+        serializer = self.make()
+        entries = [((1.5, -2.5), 7), ((0.25, 8.0), 9)]
+        page = bytearray(serializer.serialize_leaf(entries))
+        # Rewrite the header as a version-0 page: zero the version,
+        # reserved and CRC words.
+        page[8:16] = b"\x00" * 8
+        level, decoded = serializer.deserialize(bytes(page))
+        assert level == 0
+        assert decoded == entries
+
+    def test_unknown_version_rejected(self):
+        serializer = self.make()
+        page = bytearray(serializer.serialize_leaf([((0.0, 0.0), 1)]))
+        struct.pack_into("<H", page, 8, PAGE_FORMAT_VERSION + 1)
+        with pytest.raises(PageCorruptionError):
+            serializer.deserialize(bytes(page))
+
+
 class TestHeaderArithmetic:
     def test_header_size_matches_struct(self):
         assert struct.calcsize("<ii8x") == HEADER_SIZE
+        assert struct.calcsize("<iiHHI") == HEADER_SIZE
 
 
 class TestDoctests:

@@ -171,7 +171,9 @@ class TestMetrics:
         assert snap["cache"] == {
             "hits": 1, "misses": 1, "hit_rate": 0.5, "size": 4,
         }
-        assert snap["io"] == {"disk_reads": 10, "buffer_hits": 5}
+        assert snap["io"] == {
+            "disk_reads": 10, "buffer_hits": 5, "read_retries": 0,
+        }
         assert snap["latency_ms"]["count"] == 2
         assert snap["latency_ms"]["min"] == 1.0
         assert snap["latency_ms"]["max"] == 3.0
