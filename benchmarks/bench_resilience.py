@@ -54,21 +54,23 @@ def bench_checksum(pages: int, repeats: int) -> dict:
         ((rng.random(), rng.random()), i) for i in range(layout.max_entries)
     ]
     checked = serializer.serialize_leaf(entries)
-    # The same bytes as a legacy page: zeroed version/reserved/CRC words
-    # make deserialize skip verification.
+    # The same bytes as a legacy page: zeroed version/magic/CRC words
+    # make deserialize skip verification (legacy reads are opt-in, so
+    # the unverified baseline uses a legacy-tolerant serializer).
     legacy = checked[:8] + b"\x00" * 8 + checked[16:]
+    legacy_serializer = NodeSerializer(layout, allow_legacy=True)
 
-    def decode_loop(page: bytes) -> float:
+    def decode_loop(decoder: NodeSerializer, page: bytes) -> float:
         best = float("inf")
         for __ in range(repeats):
             start = time.perf_counter()
             for __ in range(pages):
-                serializer.deserialize_arrays(page)
+                decoder.deserialize_arrays(page)
             best = min(best, time.perf_counter() - start)
         return best
 
-    verified = decode_loop(checked)
-    unverified = decode_loop(legacy)
+    verified = decode_loop(serializer, checked)
+    unverified = decode_loop(legacy_serializer, legacy)
     return {
         "verified_s": verified,
         "unverified_s": unverified,

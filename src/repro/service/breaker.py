@@ -88,10 +88,32 @@ class CircuitBreaker:
             return False
 
     def record_success(self) -> None:
-        """A permitted request completed without a storage failure."""
+        """A permitted request completed without a storage failure.
+
+        Ignored while the breaker is ``open``: a slow query admitted
+        before the breaker opened that completes mid-storm must not
+        re-close it and bypass ``reset_timeout_s``.  (The half-open
+        probe itself never observes ``open`` here unless a concurrent
+        failure already re-opened the breaker, in which case the
+        failure verdict stands.)
+        """
         with self._lock:
+            if self._state == OPEN:
+                return
             self._state = CLOSED
             self._failures = 0
+            self._probing = False
+
+    def release_probe(self) -> None:
+        """Free the half-open probe slot without recording a verdict.
+
+        Called when a permitted request ends in a non-storage outcome
+        (deadline expiry, request-shaped error): that says nothing
+        about the pair's health, but if the request held the probe
+        slot it must be returned -- otherwise ``allow`` would reject
+        everything and the breaker would sit half-open forever.
+        """
+        with self._lock:
             self._probing = False
 
     def record_failure(self) -> None:

@@ -111,18 +111,26 @@ class ResultCache:
                 return False, None
             return True, value
 
-    def invalidate_pair(self, pair: str) -> int:
+    def invalidate_pair(self, pair: str, drop_stale: bool = False) -> int:
         """Eagerly drop every entry of one registered pair.
 
-        Returns the number of entries removed.  Called by the service
-        when it observes a tree-generation bump, so no entry of a
-        mutated pair survives even transiently.
+        Returns the number of (fresh) entries removed.  Called by the
+        service when it observes a tree-generation bump, so no entry of
+        a mutated pair survives even transiently.  The last-known-good
+        stock survives by default -- same trees, merely mutated, still
+        worth serving flagged stale while a breaker is open.  Pass
+        ``drop_stale=True`` when the *trees themselves* are replaced
+        (a pair name re-registered): those results describe data no
+        longer behind the name and must not be served at all.
         """
         with self._lock:
-            stale = [k for k in self._entries if k[0] == pair]
-            for k in stale:
+            dead = [k for k in self._entries if k[0] == pair]
+            for k in dead:
                 del self._entries[k]
-            return len(stale)
+            if drop_stale:
+                for k in [k for k in self._stale if k[0] == pair]:
+                    del self._stale[k]
+            return len(dead)
 
     def clear(self) -> None:
         with self._lock:

@@ -405,9 +405,16 @@ class QueryService:
         if tree_p.dimension != tree_q.dimension:
             raise ValueError("trees index points of different dimensions")
         with self._pairs_lock:
+            replacing = name in self._pairs
             self._pairs[name] = _RegisteredPair(
                 name, tree_p, tree_q, breaker=self._breaker_factory()
             )
+        if replacing:
+            # Cached results describe trees no longer behind the name.
+            # Fresh entries could even collide (the new trees may reuse
+            # the old generation numbers) and the last-known-good stock
+            # is keyed without generations entirely, so drop both.
+            self.cache.invalidate_pair(name, drop_stale=True)
 
     def pairs(self) -> List[str]:
         with self._pairs_lock:
@@ -745,6 +752,13 @@ class QueryService:
             # _guarded_execute shape the error response.
             pair.breaker.record_failure()
             self.metrics.record_storage_fault(type(exc).__name__)
+            raise
+        except BaseException:
+            # Non-storage outcome (deadline expiry, request-shaped
+            # error): no verdict on pair health, but if this request
+            # held the half-open probe slot it must be returned or the
+            # breaker wedges half-open, rejecting everything.
+            pair.breaker.release_probe()
             raise
         pair.breaker.record_success()
         after_p = pair.tree_p.stats.snapshot()

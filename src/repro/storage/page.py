@@ -20,14 +20,22 @@ HEADER_SIZE = 16
 #:   read support is kept so page files written before checksumming
 #:   still open, but no integrity check is possible.
 #: * **1** -- checksummed pages: the former padding carries the version
-#:   (uint16), a reserved uint16, and a CRC32 (uint32) over the whole
-#:   page with the checksum field zeroed.  Any single bit-flip anywhere
-#:   in the page is detected (CRC32 catches all burst errors shorter
-#:   than 32 bits).
+#:   (uint16), the :data:`PAGE_MAGIC` stamp (uint16), and a CRC32
+#:   (uint32) over the whole page with the checksum field zeroed.  Any
+#:   single bit-flip anywhere in the page is detected (CRC32 catches
+#:   all burst errors shorter than 32 bits).
 #:
 #: The header stays 16 bytes either way, so node capacity (the paper's
 #: M = 21 for 1 KiB pages) is unchanged.
 PAGE_FORMAT_VERSION = 1
+
+#: Non-zero stamp written into the header word after the version
+#: (ASCII ``"PR"``).  A genuine legacy version-0 header is all zeros
+#: there; a version-1 header whose version field was zeroed by damage
+#: (torn header write, bit-flip) still carries this stamp, so the two
+#: are distinguishable and a damaged v1 page can never slip through
+#: the unchecksummed legacy read path.
+PAGE_MAGIC = 0x5250
 
 #: Fixed on-disk entry footprint in bytes.  Both leaf entries
 #: (point coordinates + object id) and internal entries (MBR + child

@@ -16,11 +16,17 @@ serializer is deliberately independent of the R-tree classes: it deals
 in plain tuples, and :mod:`repro.rtree.node` adapts them.
 
 The checksum covers the whole page with the CRC field itself zeroed.
-Version-0 pages (written before checksumming; header tail is all
-zeros) are still readable but carry no checksum; every page this
-serializer writes is version 1, and a version-1 page whose checksum
-does not match raises :class:`repro.errors.PageCorruptionError` --
-corruption is loud, never a silently wrong node.
+Every page this serializer writes is version 1 with the
+:data:`~repro.storage.page.PAGE_MAGIC` stamp in the reserved word; a
+version-1 page whose checksum does not match raises
+:class:`repro.errors.PageCorruptionError` -- corruption is loud, never
+a silently wrong node.  Version-0 pages (written before checksumming;
+header tail is all zeros) carry no checksum and are only accepted when
+the serializer was opened with ``allow_legacy=True``: by default a
+zeroed version word -- which is exactly what a torn header write or a
+version-field bit-flip produces -- is treated as corruption rather
+than silently skipping validation, and even in legacy mode a version-0
+header whose magic word is non-zero is rejected as a damaged v1 page.
 """
 
 from __future__ import annotations
@@ -32,7 +38,12 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import PageCorruptionError
-from repro.storage.page import HEADER_SIZE, PAGE_FORMAT_VERSION, PageLayout
+from repro.storage.page import (
+    HEADER_SIZE,
+    PAGE_FORMAT_VERSION,
+    PAGE_MAGIC,
+    PageLayout,
+)
 
 #: (coords, object_id)
 LeafEntryTuple = Tuple[Tuple[float, ...], int]
@@ -60,10 +71,17 @@ class PageOverflowError(ValueError):
 
 
 class NodeSerializer:
-    """Serialises nodes of a fixed dimension into fixed-size pages."""
+    """Serialises nodes of a fixed dimension into fixed-size pages.
 
-    def __init__(self, layout: PageLayout):
+    ``allow_legacy`` opts in to reading version-0 (pre-checksum) pages;
+    leave it off -- the default -- unless the page file is known to
+    predate checksumming, because a damaged version-1 header can look
+    exactly like a legacy one.
+    """
+
+    def __init__(self, layout: PageLayout, allow_legacy: bool = False):
         self.layout = layout
+        self.allow_legacy = allow_legacy
         k = layout.dimension
         self._leaf_entry = struct.Struct(f"<{k}dq")
         self._internal_entry = struct.Struct(f"<{2 * k}dq")
@@ -120,7 +138,9 @@ class NodeSerializer:
             )
         slot = self.layout.entry_size
         parts = [
-            _HEADER.pack(level, len(entries), PAGE_FORMAT_VERSION, 0, 0)
+            _HEADER.pack(
+                level, len(entries), PAGE_FORMAT_VERSION, PAGE_MAGIC, 0
+            )
         ]
         for entry in entries:
             raw = pack(entry)
@@ -138,7 +158,7 @@ class NodeSerializer:
             raise PageCorruptionError(
                 f"page of {len(page)} bytes; expected {self.layout.page_size}"
             )
-        level, count, version, _reserved, crc = _HEADER.unpack_from(page, 0)
+        level, count, version, magic, crc = _HEADER.unpack_from(page, 0)
         if version == PAGE_FORMAT_VERSION:
             actual = page_checksum(page)
             if actual != crc:
@@ -146,9 +166,25 @@ class NodeSerializer:
                     f"corrupt page: CRC32 mismatch (stored {crc:#010x}, "
                     f"computed {actual:#010x})"
                 )
-        elif version != 0:
-            # Version 0 is the pre-checksum layout (padding bytes);
-            # anything else is damage or a future format.
+        elif version == 0:
+            # Version 0 is the pre-checksum layout (header tail all
+            # zero).  A zeroed version word is also what a torn header
+            # write or a version-field bit-flip produces, so acceptance
+            # is opt-in -- and a v1 page unmasked by its magic stamp is
+            # rejected even then.
+            if magic != 0:
+                raise PageCorruptionError(
+                    f"corrupt page: version 0 but magic word "
+                    f"{magic:#06x} is set (damaged version-1 header)"
+                )
+            if not self.allow_legacy:
+                raise PageCorruptionError(
+                    "corrupt page: version 0 (legacy unchecksummed "
+                    "layout) not accepted; open the serializer with "
+                    "allow_legacy=True to read pre-checksum page files"
+                )
+        else:
+            # Anything else is damage or a future format.
             raise PageCorruptionError(
                 f"corrupt page: unknown format version {version}"
             )

@@ -28,6 +28,7 @@ from repro.service import (
     CircuitBreaker,
     CPQRequest,
     QueryService,
+    STATUS_ERROR,
     STATUS_OK,
     STATUS_OVERLOADED,
     STATUS_UNAVAILABLE,
@@ -416,6 +417,29 @@ class TestCircuitBreaker:
         now[0] = 10.0
         assert breaker.allow()
 
+    def test_success_while_open_ignored(self):
+        # A slow query admitted before the breaker opened must not
+        # re-close it mid-storm, bypassing the reset timeout.
+        breaker, now = self.make(threshold=1, timeout=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.record_success()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        now[0] = 10.0
+        assert breaker.allow()          # probe only after the timeout
+
+    def test_release_probe_frees_slot(self):
+        breaker, now = self.make(threshold=1, timeout=10.0)
+        breaker.record_failure()
+        now[0] = 10.0
+        assert breaker.allow()          # the probe
+        assert not breaker.allow()
+        # Probe died of a non-storage error: no verdict, slot returned.
+        breaker.release_probe()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()          # a new probe may proceed
+
     def test_validation(self):
         with pytest.raises(ValueError):
             CircuitBreaker(failure_threshold=0)
@@ -483,6 +507,67 @@ class TestServiceResilience:
             assert snapshot["resilience"]["breaker_rejections"] >= 2
         finally:
             unwrap_tree_store(tree_p)
+            service.close()
+
+    def test_nonstorage_probe_failure_does_not_wedge_breaker(
+        self, tree_pair
+    ):
+        # Regression: a half-open probe that dies of a request-shaped
+        # error (or deadline expiry) must release the probe slot.
+        # Before the fix the breaker stayed half-open with the slot
+        # taken forever, rejecting every future request.
+        tree_p, tree_q = tree_pair
+        now = [0.0]
+        service = QueryService(
+            workers=1,
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=2, reset_timeout_s=5.0,
+                clock=lambda: now[0],
+            ),
+        )
+        service.register_pair("pair", tree_p, tree_q)
+        try:
+            self.open_breaker(service, tree_p)
+            assert service._pairs["pair"].breaker.state == OPEN
+            unwrap_tree_store(tree_p)   # storage is healthy again
+            now[0] = 5.0                # reset timeout elapsed
+            # The probe request fails for request-shaped reasons that
+            # say nothing about storage health.
+            probe = service.execute(CPQRequest(
+                pair="pair", k=2, algorithm="bogus", use_cache=False,
+            ))
+            assert probe.status == STATUS_ERROR
+            # The slot was released: the next request probes, succeeds,
+            # and closes the breaker.
+            good = service.execute(CPQRequest(pair="pair", k=2,
+                                              use_cache=False))
+            assert good.status == STATUS_OK
+            assert service._pairs["pair"].breaker.state == CLOSED
+        finally:
+            unwrap_tree_store(tree_p)
+            service.close()
+
+    def test_reregistering_pair_drops_stale_stock(self, tree_pair):
+        # Regression: re-registering a name with different trees must
+        # drop the generation-less last-known-good stock, or breaker-
+        # open degraded serving could answer from the *old* trees.
+        tree_p, tree_q = tree_pair
+        service = QueryService(workers=1)
+        service.register_pair("pair", tree_p, tree_q)
+        try:
+            request = CPQRequest(pair="pair", k=3)
+            assert service.execute(request).status == STATUS_OK
+            found, __ = service.cache.get_stale(
+                "pair", request.cache_params()
+            )
+            assert found
+            other = bulk_load([(float(i), float(i)) for i in range(40)])
+            service.register_pair("pair", other, other)
+            found, __ = service.cache.get_stale(
+                "pair", request.cache_params()
+            )
+            assert not found
+        finally:
             service.close()
 
     def test_shedding_at_queue_threshold(self, tree_pair):

@@ -131,18 +131,51 @@ class TestChecksumProperties:
         with pytest.raises(PageCorruptionError):
             serializer.deserialize(bytes(page))
 
-    def test_legacy_version_zero_pages_still_read(self):
-        """Pages written before the checksum era (zeroed padding) are
-        decoded without verification -- backward compatibility."""
-        serializer = self.make()
-        entries = [((1.5, -2.5), 7), ((0.25, 8.0), 9)]
-        page = bytearray(serializer.serialize_leaf(entries))
-        # Rewrite the header as a version-0 page: zero the version,
-        # reserved and CRC words.
+    def legacy_page(self, entries):
+        """A true pre-checksum page: header tail (version, magic, CRC)
+        all zero."""
+        page = bytearray(self.make().serialize_leaf(entries))
         page[8:16] = b"\x00" * 8
-        level, decoded = serializer.deserialize(bytes(page))
+        return bytes(page)
+
+    def test_legacy_version_zero_pages_read_when_opted_in(self):
+        """Pages written before the checksum era (zeroed padding) are
+        decoded without verification -- but only behind the explicit
+        ``allow_legacy`` flag."""
+        serializer = NodeSerializer(self.layout, allow_legacy=True)
+        entries = [((1.5, -2.5), 7), ((0.25, 8.0), 9)]
+        level, decoded = serializer.deserialize(self.legacy_page(entries))
         assert level == 0
         assert decoded == entries
+
+    def test_version_zero_rejected_by_default(self):
+        """Without the legacy opt-in a zeroed version word is treated
+        as corruption: it is indistinguishable from a torn header
+        write, which must never decode as an all-zero node."""
+        page = self.legacy_page([((1.5, -2.5), 7)])
+        with pytest.raises(PageCorruptionError):
+            self.make().deserialize(page)
+
+    def test_torn_header_not_mistaken_for_legacy(self):
+        """A torn write persisting only the first 8 header bytes zeroes
+        the version word but keeps level/count -- exactly the shape of
+        a legacy page with zeroed entries.  The default serializer must
+        reject it rather than return a silently wrong node."""
+        serializer = self.make()
+        page = bytearray(serializer.serialize_leaf([((3.0, 4.0), 11)]))
+        torn = bytes(page[:8]) + b"\x00" * (len(page) - 8)
+        with pytest.raises(PageCorruptionError):
+            serializer.deserialize(torn)
+
+    def test_version_flip_to_zero_detected_even_with_legacy(self):
+        """Flipping the version LSB (1 -> 0) must not skip validation:
+        the magic word still carries the v1 stamp, so the page is
+        rejected even by a legacy-tolerant serializer."""
+        serializer = NodeSerializer(self.layout, allow_legacy=True)
+        page = bytearray(serializer.serialize_leaf([((1.0, 2.0), 3)]))
+        page[8] ^= 0x01
+        with pytest.raises(PageCorruptionError):
+            serializer.deserialize(bytes(page))
 
     def test_unknown_version_rejected(self):
         serializer = self.make()

@@ -138,6 +138,19 @@ class TestResultCache:
         assert len(cache) == 1
         assert cache.get(cache_key("b", 0, 0, ("cpq", 1, "auto")))[0]
 
+    def test_invalidate_pair_stale_stock_opt_in(self):
+        cache = ResultCache(capacity=8)
+        params = ("cpq", 1, "auto")
+        cache.put(cache_key("a", 0, 0, params), "va")
+        cache.put(cache_key("b", 0, 0, params), "vb")
+        # Generation-bump invalidation keeps the last-known-good stock.
+        cache.invalidate_pair("a")
+        assert cache.get_stale("a", params) == (True, "va")
+        # Tree replacement drops it -- and only for that pair.
+        cache.invalidate_pair("a", drop_stale=True)
+        assert cache.get_stale("a", params) == (False, None)
+        assert cache.get_stale("b", params) == (True, "vb")
+
     def test_zero_capacity_disables(self):
         cache = ResultCache(capacity=0)
         key = cache_key("a", 0, 0, ("cpq", 1, "auto"))
