@@ -404,6 +404,109 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _file_backed_tree(path: str, scratch_dir: str, name: str) -> RTree:
+    """Open (or materialise) a tree the shard tier can reopen.
+
+    Shard processes reopen trees through their own ``FilePageStore``
+    descriptors, so the tree must live in a ``.pages`` file; a raw
+    points input is bulk-loaded into ``scratch_dir`` first.
+    """
+    if path.endswith(".pages"):
+        return _load_tree(path)
+    import os
+
+    pages = os.path.join(scratch_dir, name + ".pages")
+    store = FilePageStore(pages, page_size=1024)
+    return bulk_load(load_points(path),
+                     file=PagedFile(store, page_size=1024))
+
+
+def cmd_serve_net(args: argparse.Namespace) -> int:
+    import tempfile
+    import time as time_mod
+
+    from repro.net import NetServer, ShardManager, tree_spec
+    from repro.net.shard import TreeSpec
+    from repro.service import QueryService
+
+    scratch = tempfile.mkdtemp(prefix="repro-serve-net-")
+    tree_p = _file_backed_tree(args.left, scratch, "p")
+    tree_q = _file_backed_tree(args.right, scratch, "q")
+    specs = []
+    for tree in (tree_p, tree_q):
+        spec = tree_spec(tree)
+        specs.append(TreeSpec(
+            spec.path, spec.page_size, spec.metadata,
+            buffer_capacity=args.shard_buffer,
+            read_latency=args.shard_read_latency_ms / 1000.0,
+        ))
+    manager = ShardManager(
+        specs[0], specs[1],
+        shards=args.shards,
+        pair=args.pair,
+        on_failure=args.on_failure,
+    )
+    service = QueryService(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_size=args.cache_size,
+        default_deadline_ms=args.deadline_ms,
+        cpq_executor=manager.service_executor(),
+    )
+    service.register_pair(args.pair, manager.tree_p, manager.tree_q)
+    server = NetServer(
+        service, host=args.host, port=args.port, manager=manager,
+    ).start_in_thread()
+    # One machine-readable line so harnesses can find the bound port.
+    print(json.dumps({
+        "listening": f"{args.host}:{server.port}",
+        "host": args.host,
+        "port": server.port,
+        "shards": args.shards,
+        "pair": args.pair,
+        "on_failure": args.on_failure,
+    }), flush=True)
+    try:
+        if args.run_seconds is not None:
+            time_mod.sleep(args.run_seconds)
+        else:
+            while True:
+                time_mod.sleep(1.0)
+    except KeyboardInterrupt:
+        print("# interrupted; draining", file=sys.stderr)
+    finally:
+        server.close()
+    print("# closed cleanly", file=sys.stderr)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.net.loadgen import run_loadgen
+    from repro.service import CPQRequest as ServiceCPQ
+
+    templates = [
+        ServiceCPQ(
+            pair=args.pair,
+            k=args.k,
+            algorithm=algorithm,
+            use_cache=args.use_cache,
+        )
+        for algorithm in args.algorithms.split(",")
+    ]
+    summary = run_loadgen(
+        args.host, args.port, templates,
+        clients=args.clients,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+    )
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+    return 0 if summary["errors"] == 0 else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a K-CPQ workload under an injected fault schedule.
 
@@ -680,6 +783,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_service_args(serve)
     serve.set_defaults(func=cmd_serve)
+
+    serve_net = sub.add_parser(
+        "serve-net",
+        help="serve the HTTP/JSON network tier over spatial shards",
+    )
+    serve_net.add_argument("left",
+                           help="points file or .pages tree (P)")
+    serve_net.add_argument("right",
+                           help="points file or .pages tree (Q)")
+    serve_net.add_argument("--host", default="127.0.0.1",
+                           help="bind address")
+    serve_net.add_argument("--port", type=int, default=0,
+                           help="bind port (0 picks a free one; the "
+                                "bound port is printed as JSON)")
+    serve_net.add_argument("--shards", type=int, default=2,
+                           help="shard process count")
+    serve_net.add_argument("--on-failure", default="recover",
+                           choices=["recover", "partial"],
+                           help="lost-shard policy: exact recovery on "
+                                "the coordinator, or flagged partial "
+                                "answers")
+    serve_net.add_argument("--shard-buffer", type=int, default=64,
+                           help="LRU buffer pages per tree per shard")
+    serve_net.add_argument("--shard-read-latency-ms", type=float,
+                           default=0.0,
+                           help="simulated per-miss disk latency in "
+                                "the shards (benchmark regime)")
+    serve_net.add_argument("--workers", type=int, default=4,
+                           help="service worker threads")
+    serve_net.add_argument("--queue-size", type=int, default=256,
+                           help="admission queue bound")
+    serve_net.add_argument("--cache-size", type=int, default=128,
+                           help="result cache capacity (0 disables)")
+    serve_net.add_argument("--deadline-ms", type=float, default=None,
+                           help="default per-query deadline")
+    serve_net.add_argument("--pair", default="default",
+                           help="name the registered tree pair")
+    serve_net.add_argument("--run-seconds", type=float, default=None,
+                           help="serve for this long then drain "
+                                "(default: until interrupted)")
+    serve_net.set_defaults(func=cmd_serve_net)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator against a serve-net endpoint",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--clients", type=int, default=4,
+                         help="concurrent closed-loop clients")
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         help="measured seconds")
+    loadgen.add_argument("--warmup", type=float, default=0.5,
+                         help="unmeasured warmup seconds")
+    loadgen.add_argument("--k", type=int, default=10)
+    loadgen.add_argument("--algorithms", default="heap",
+                         help="comma-separated algorithm cycle")
+    loadgen.add_argument("--pair", default="default")
+    loadgen.add_argument("--use-cache", action="store_true",
+                         help="let the service cache answer repeats "
+                              "(default off so every request does "
+                              "real work)")
+    loadgen.add_argument("--out", default=None,
+                         help="also write the summary JSON here")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     chaos = sub.add_parser(
         "chaos",

@@ -1,0 +1,44 @@
+"""The network tier: wire format, spatial shards, edge server, client.
+
+``repro.net`` turns the in-process query service into a served system
+(ROADMAP open item 1): :mod:`~repro.net.wire` defines the versioned
+JSON envelopes, :mod:`~repro.net.shard` owns the multi-process spatial
+shards and their scatter-gather K-heap merge, :mod:`~repro.net.server`
+is the asyncio HTTP edge, :mod:`~repro.net.client` the keep-alive
+client, and :mod:`~repro.net.loadgen` the closed-loop load generator
+behind ``BENCH_network_qps.json``.  See ``docs/NETWORK.md``.
+"""
+
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.net.shard import ShardManager, TreeSpec, tree_spec
+from repro.net.wire import (
+    WIRE_VERSION,
+    WireError,
+    decode_request,
+    decode_response,
+    dumps_request,
+    dumps_response,
+    encode_request,
+    encode_response,
+    loads_request,
+    loads_response,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "NetClient",
+    "NetServer",
+    "ShardManager",
+    "TreeSpec",
+    "tree_spec",
+    "decode_request",
+    "decode_response",
+    "dumps_request",
+    "dumps_response",
+    "encode_request",
+    "encode_response",
+    "loads_request",
+    "loads_response",
+]

@@ -1,0 +1,121 @@
+"""Blocking keep-alive client for the network tier.
+
+:class:`NetClient` wraps one ``http.client.HTTPConnection`` (stdlib,
+persistent) and the :mod:`repro.net.wire` codecs: callers hand it the
+same :class:`~repro.service.CPQRequest`/:class:`~repro.service.
+KNNRequest`/:class:`~repro.service.RangeRequest` objects they would
+give a local :class:`~repro.service.QueryService` and get the same
+structured :class:`~repro.service.QueryResponse` back -- the network
+is invisible apart from latency.  One client is one connection and is
+**not** thread-safe; the load generator gives each worker thread its
+own (that is what "closed-loop multi-client" means).
+
+A request is retried once, transparently, when the server closed an
+idle keep-alive connection between exchanges (the benign race of
+persistent HTTP); every other transport failure raises
+:class:`NetError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict
+
+from repro.net import wire
+from repro.service import QueryResponse
+
+#: Transport errors worth one reconnect-and-retry on a fresh exchange.
+_RETRYABLE = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    ConnectionError,
+    BrokenPipeError,
+)
+
+
+class NetError(RuntimeError):
+    """Transport-level failure talking to the edge server."""
+
+
+class NetClient:
+    """One persistent connection to a :class:`~repro.net.NetServer`."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn = http.client.HTTPConnection(
+            host, port, timeout=timeout_s
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _exchange(self, method: str, path: str,
+                  body: bytes = b"") -> Dict[str, Any]:
+        """One HTTP exchange; reconnects once on a stale keep-alive."""
+        for attempt in (0, 1):
+            try:
+                self._conn.request(
+                    method, path, body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                raw = self._conn.getresponse()
+                payload = raw.read()
+                break
+            except _RETRYABLE as exc:
+                self._conn.close()
+                if attempt:
+                    raise NetError(
+                        f"{method} {path} failed: {exc}"
+                    ) from exc
+            except (socket.timeout, OSError) as exc:
+                self._conn.close()
+                raise NetError(
+                    f"{method} {path} failed: {exc}"
+                ) from exc
+        try:
+            obj = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise NetError(
+                f"non-JSON body from {method} {path} "
+                f"(HTTP {raw.status})"
+            ) from exc
+        if raw.status == 400:
+            raise wire.WireError(obj.get("error", "bad request"))
+        if "error" in obj and "status" not in obj:
+            raise NetError(
+                f"HTTP {raw.status} from {method} {path}: "
+                f"{obj['error']}"
+            )
+        return obj
+
+    # -- API ---------------------------------------------------------------
+
+    def query(self, request) -> QueryResponse:
+        """Submit one service request; returns the structured response.
+
+        Degraded outcomes (``overloaded``, ``deadline_exceeded`` ...)
+        come back as responses with that status, exactly like the
+        local service -- only transport and protocol failures raise.
+        """
+        obj = self._exchange(
+            "POST", "/v1/query", wire.dumps_request(request)
+        )
+        return wire.decode_response(obj)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._exchange("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._exchange("GET", "/stats")["stats"]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

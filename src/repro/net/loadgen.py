@@ -1,0 +1,132 @@
+"""Closed-loop multi-client load generator for the network tier.
+
+``run_loadgen`` drives a :class:`~repro.net.NetServer` the way a
+serving fleet is actually measured: C worker threads, each with its
+own persistent :class:`~repro.net.NetClient` connection, each issuing
+its next request only after the previous response arrives (closed
+loop -- offered load adapts to service capacity, so the numbers are
+*sustained* QPS, not an open-loop arrival fantasy).  Workers cycle
+through the given request templates; latency is wall time around one
+complete exchange, recorded per request so the summary can report
+p50/p99 tails alongside throughput.
+
+The summary dict is the machine-readable shape the benchmark writes to
+``BENCH_network_qps.json`` (see ``benchmarks/bench_network.py``) and
+the CLI's ``loadgen`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Sequence
+
+from repro.net.client import NetClient, NetError
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending, non-empty list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(round(q / 100.0 * len(sorted_values))))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    requests: Sequence[Any],
+    *,
+    clients: int = 4,
+    duration_s: float = 5.0,
+    warmup_s: float = 0.0,
+    timeout_s: float = 60.0,
+) -> Dict[str, Any]:
+    """Drive the server closed-loop; returns the throughput summary.
+
+    ``requests`` are service request objects (usually
+    :class:`~repro.service.CPQRequest` with ``use_cache=False`` so
+    every exchange does real work); each worker cycles through them,
+    offset by its worker id so concurrent workers spread across the
+    templates.  ``warmup_s`` runs unrecorded traffic first (buffer
+    pools, breaker state, connection setup).  Responses with a
+    non-``ok`` status and transport errors both count as ``errors``
+    and record no latency.
+    """
+    if not requests:
+        raise ValueError("need at least one request template")
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+
+    latencies_by_worker: List[List[float]] = [[] for _ in range(clients)]
+    errors_by_worker = [0] * clients
+    start_barrier = threading.Barrier(clients + 1)
+    measure_started = threading.Event()
+    stop = threading.Event()
+
+    def worker(worker_id: int) -> None:
+        client = NetClient(host, port, timeout_s=timeout_s)
+        cursor = worker_id  # spread workers across the templates
+        try:
+            start_barrier.wait()
+            while not stop.is_set():
+                request = requests[cursor % len(requests)]
+                cursor += 1
+                t0 = time.perf_counter()
+                transport_error = False
+                try:
+                    response = client.query(request)
+                    ok = response.ok
+                except NetError:
+                    ok = False
+                    transport_error = True
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                if transport_error:
+                    # A dead or unreachable server fails in
+                    # microseconds; don't spin the closed loop into a
+                    # million-error tally.
+                    time.sleep(0.02)
+                if not measure_started.is_set():
+                    continue  # warmup traffic: neither counted nor timed
+                if ok:
+                    latencies_by_worker[worker_id].append(elapsed_ms)
+                else:
+                    errors_by_worker[worker_id] += 1
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,),
+                         name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    if warmup_s > 0:
+        time.sleep(warmup_s)
+    measure_started.set()
+    measured_from = time.perf_counter()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    measured_s = time.perf_counter() - measured_from
+
+    latencies = sorted(
+        value for bucket in latencies_by_worker for value in bucket
+    )
+    completed = len(latencies)
+    errors = sum(errors_by_worker)
+    return {
+        "clients": clients,
+        "duration_s": round(measured_s, 3),
+        "requests": completed,
+        "errors": errors,
+        "qps": round(completed / measured_s, 2) if measured_s else 0.0,
+        "mean_ms": (round(sum(latencies) / completed, 3)
+                    if completed else 0.0),
+        "p50_ms": round(_percentile(latencies, 50.0), 3),
+        "p99_ms": round(_percentile(latencies, 99.0), 3),
+        "max_ms": round(latencies[-1], 3) if latencies else 0.0,
+    }

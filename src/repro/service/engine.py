@@ -219,6 +219,11 @@ class QueryResponse:
     #: True when this is a last-known-good cache entry served while the
     #: pair's circuit breaker was open; it may predate tree mutations.
     stale: bool = False
+    #: True when a sharded execution lost one or more shards and the
+    #: result covers only the surviving partitions (see
+    #: ``docs/NETWORK.md``).  Always False for in-process execution
+    #: and for sharded runs that recovered the lost work.
+    partial: bool = False
     latency_ms: float = 0.0
     disk_reads: int = 0
     buffer_hits: int = 0
@@ -335,6 +340,18 @@ class QueryService:
         CircuitBreaker` at registration; defaults to
         ``CircuitBreaker()`` (5 consecutive storage failures open it
         for 30 s).  Inject a factory to tune thresholds or the clock.
+    cpq_executor:
+        Optional CPQ execution override, called as
+        ``cpq_executor(pair_name, tree_p, tree_q, core_request,
+        cancel_check, tracer)``.  Returning a
+        :class:`~repro.core.result.CPQResult` substitutes for the
+        in-process :func:`~repro.core.api.k_closest_pairs` call;
+        returning ``None`` declines (unshardable algorithm, unknown
+        pair) and execution falls through to the in-process path.
+        This is how the network tier routes CPQ execution through a
+        :class:`~repro.net.shard.ShardManager` while keeping the
+        service's cache, planner, metrics and per-pair breaker in the
+        loop.
     """
 
     def __init__(
@@ -349,6 +366,7 @@ class QueryService:
         max_query_workers: int = 1,
         shed_threshold: Optional[int] = None,
         breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        cpq_executor: Optional[Callable] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -363,6 +381,7 @@ class QueryService:
             breaker_factory if breaker_factory is not None
             else CircuitBreaker
         )
+        self._cpq_executor = cpq_executor
         self.default_deadline_ms = default_deadline_ms
         #: Cap on *intra-query* parallelism (the partitioned executor's
         #: worker threads), independent of the ``workers`` pool that
@@ -571,11 +590,26 @@ class QueryService:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting work; optionally drain and join the pool."""
+    def close(self, wait: bool = True, drain: bool = False) -> None:
+        """Stop accepting work; optionally drain and join the pool.
+
+        ``drain=True`` blocks until every already-admitted query has
+        *finished executing* before the worker teardown begins, so no
+        in-flight caller is left holding an unresolved handle.  (The
+        poison-pill teardown alone already guarantees queued work runs
+        before any worker exits -- the queue is FIFO -- but only
+        ``wait=True`` observes it; ``drain`` makes the guarantee
+        explicit and independent of ``wait``.)  New submissions are
+        rejected from the first moment of either path.
+        """
         if self._closed:
             return
         self._closed = True
+        if drain:
+            # Every admitted PendingQuery is balanced by a task_done
+            # in the worker loop; join() returns once all of them --
+            # including those currently executing -- have resolved.
+            self._queue.join()
         for __ in self._workers:
             self._queue.put(None)
         if wait:
@@ -775,7 +809,16 @@ class QueryService:
             (after_p.read_retries - before_p.read_retries)
             + (after_q.read_retries - before_q.read_retries)
         )
-        if key is not None:
+        # A sharded execution that lost shards and could not recover
+        # their partitions flags the result partial; such a result is
+        # *not* cached (it is not the true answer for the key).
+        partial = bool(
+            request.kind == "cpq"
+            and result.stats.extra.get("net", {}).get("partial")
+        )
+        if partial:
+            self.metrics.record_partial_response()
+        if key is not None and not partial:
             self.cache.put(
                 key,
                 {"result": result, "algorithm": algorithm, "plan": plan},
@@ -784,7 +827,7 @@ class QueryService:
             status=STATUS_OK, kind=request.kind,
             result=result, algorithm=algorithm, plan=plan,
             disk_reads=disk_reads, buffer_hits=buffer_hits,
-            read_retries=read_retries,
+            read_retries=read_retries, partial=partial,
         )
 
     def _run_cpq(
@@ -822,13 +865,22 @@ class QueryService:
             workers = min(plan.workers, self.max_query_workers)
         else:
             workers = 1
-        result = k_closest_pairs(
-            pair.tree_p,
-            pair.tree_q,
-            request=request.to_query(algorithm, workers=workers),
-            cancel_check=self._deadline_probe(deadline),
-            tracer=self.tracer,
-        )
+        core_request = request.to_query(algorithm, workers=workers)
+        probe = self._deadline_probe(deadline)
+        result = None
+        if self._cpq_executor is not None:
+            result = self._cpq_executor(
+                pair.name, pair.tree_p, pair.tree_q, core_request,
+                probe, self.tracer,
+            )
+        if result is None:
+            result = k_closest_pairs(
+                pair.tree_p,
+                pair.tree_q,
+                request=core_request,
+                cancel_check=probe,
+                tracer=self.tracer,
+            )
         if result.stats.extra.get("parallel_fallback"):
             self.metrics.record_parallel_fallback()
         return result, algorithm, plan

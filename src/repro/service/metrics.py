@@ -64,6 +64,7 @@ class ServiceMetrics:
         self._breaker_rejections = 0
         self._stale_served = 0
         self._parallel_fallbacks = 0
+        self._partial_responses = 0
         #: Storage faults observed by executions: error type -> count.
         self._storage_faults: Dict[str, int] = {}
         #: Span rollups fed by traced requests: name -> [count, total_ms].
@@ -143,6 +144,11 @@ class ServiceMetrics:
         """One CPQ degraded from the partitioned executor to serial."""
         with self._lock:
             self._parallel_fallbacks += 1
+
+    def record_partial_response(self) -> None:
+        """One sharded CPQ answered from surviving shards only."""
+        with self._lock:
+            self._partial_responses += 1
 
     @staticmethod
     def _bucket_index(latency_ms: float) -> int:
@@ -253,6 +259,7 @@ class ServiceMetrics:
                     "breaker_rejections": self._breaker_rejections,
                     "stale_served": self._stale_served,
                     "parallel_fallbacks": self._parallel_fallbacks,
+                    "partial_responses": self._partial_responses,
                     "storage_faults": dict(self._storage_faults),
                 },
                 # Process-wide pairwise-kernel tallies (calls and entry

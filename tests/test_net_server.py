@@ -1,0 +1,247 @@
+"""End-to-end contract of the asyncio edge: a real socket, byte parity.
+
+One server over a 2-shard :class:`~repro.net.ShardManager` answers
+every shardable algorithm with exactly the serial engine's pairs --
+through HTTP, JSON and scatter-gather.  Around that headline: protocol
+conformance (keep-alive, HTTP status mirroring, 400 on malformed
+envelopes before the service is ever touched, 404/405), the auxiliary
+endpoints, and graceful shutdown that drains in-flight queries instead
+of abandoning them.
+"""
+
+import http.client
+import json
+import random
+import threading
+
+import pytest
+
+from repro.core.api import CPQRequest, k_closest_pairs
+from repro.net import NetClient, NetServer, ShardManager, tree_spec, wire
+from repro.net.client import NetError
+from repro.rtree.bulk import bulk_load
+from repro.service import (
+    CPQRequest as ServiceCPQ,
+    KNNRequest,
+    QueryService,
+    RangeRequest,
+)
+from repro.storage.paged_file import PagedFile
+from repro.storage.store import FilePageStore
+
+ALGORITHMS = ("naive", "exh", "sim", "std", "heap")
+
+
+def _file_tree(tmp_path, name, points):
+    store = FilePageStore(str(tmp_path / name), page_size=1024)
+    return bulk_load(points, file=PagedFile(store, page_size=1024))
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """Trees on disk, 2-shard manager, service, listening server."""
+    tmp = tmp_path_factory.mktemp("net-e2e")
+    rng = random.Random(11)
+    tree_p = _file_tree(
+        tmp, "p.pages",
+        [(rng.random(), rng.random()) for __ in range(200)],
+    )
+    tree_q = _file_tree(
+        tmp, "q.pages",
+        [(rng.random(), rng.random()) for __ in range(200)],
+    )
+    serial = {
+        algorithm: k_closest_pairs(
+            tree_p, tree_q,
+            request=CPQRequest(k=8, algorithm=algorithm),
+        )
+        for algorithm in ALGORITHMS
+    }
+    manager = ShardManager(tree_spec(tree_p), tree_spec(tree_q),
+                           shards=2)
+    service = QueryService(
+        workers=4, cpq_executor=manager.service_executor()
+    )
+    service.register_pair("default", manager.tree_p, manager.tree_q)
+    server = NetServer(service, manager=manager).start_in_thread()
+    yield server, serial
+    server.close()
+
+
+@pytest.fixture()
+def client(stack):
+    server, __ = stack
+    with NetClient("127.0.0.1", server.port) as net_client:
+        yield net_client
+
+
+class TestByteParity:
+    def test_all_algorithms_identical_to_serial(self, stack, client):
+        __, serial = stack
+        for algorithm in ALGORITHMS:
+            response = client.query(ServiceCPQ(
+                pair="default", k=8, algorithm=algorithm,
+                use_cache=False,
+            ))
+            assert response.status == "ok", response.error
+            # The whole point: pairs AND tie order survive the
+            # socket, the JSON, and the scatter-gather.
+            assert response.result.pairs == serial[algorithm].pairs
+            net = response.result.stats.extra["net"]
+            assert net["shards"] == 2
+            assert response.partial is False
+
+    def test_cache_round_trip(self, client):
+        request = ServiceCPQ(pair="default", k=4, algorithm="heap")
+        first = client.query(request)
+        second = client.query(request)
+        assert first.status == second.status == "ok"
+        assert second.cached is True
+        assert second.result.pairs == first.result.pairs
+
+    def test_knn_and_range_over_wire(self, client):
+        knn = client.query(KNNRequest(
+            pair="default", point=(0.5, 0.5), k=3,
+        ))
+        assert knn.status == "ok"
+        assert len(knn.result) == 3
+        found = client.query(RangeRequest(
+            pair="default", lo=(0.0, 0.0), hi=(1.0, 1.0),
+        ))
+        assert found.status == "ok"
+        assert len(found.result) == 200
+
+
+class TestProtocol:
+    def _raw(self, server, method, path, body=b"", headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            conn.request(method, path, body=body,
+                         headers=headers or {})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_healthz_reports_shards(self, stack, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["pairs"] == ["default"]
+        assert len(health["shards"]) == 2
+        assert all(shard["alive"] for shard in health["shards"])
+        assert health["on_failure"] == "recover"
+
+    def test_stats_snapshot(self, client):
+        client.query(ServiceCPQ(pair="default", k=2))
+        stats = client.stats()
+        assert stats["queries"]["submitted"] >= 1
+        assert "resilience" in stats
+
+    def test_unknown_pair_is_structured_error(self, client):
+        response = client.query(ServiceCPQ(pair="nope", k=1))
+        assert response.status == "error"
+        assert "unknown pair" in response.error
+
+    def test_wrong_version_is_400(self, stack, client):
+        server, __ = stack
+        status, payload = self._raw(
+            server, "POST", "/v1/query",
+            json.dumps({"v": 99}).encode(),
+        )
+        assert status == 400
+        assert "version" in payload["error"]
+        with pytest.raises(wire.WireError, match="version"):
+            client._exchange("POST", "/v1/query",
+                             json.dumps({"v": 99}).encode())
+
+    def test_malformed_json_is_400(self, stack):
+        server, __ = stack
+        status, payload = self._raw(server, "POST", "/v1/query",
+                                    b"{not json")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_unknown_route_is_404(self, stack):
+        server, __ = stack
+        status, __payload = self._raw(server, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, stack):
+        server, __ = stack
+        status, __payload = self._raw(server, "GET", "/v1/query")
+        assert status == 405
+        status, __payload = self._raw(server, "POST", "/healthz")
+        assert status == 405
+
+    def test_http_status_mirrors_overload(self, tmp_path):
+        # A saturated service sheds; the edge must answer 503 with the
+        # structured envelope intact.
+        tree = bulk_load([(0.0, 0.0), (1.0, 1.0)])
+        service = QueryService(workers=1, shed_threshold=1)
+        service.register_pair("default", tree, tree)
+        server = NetServer(service).start_in_thread()
+        try:
+            # Saturate the queue from inside: the service executes
+            # serially, so a burst through raw sockets races; instead
+            # drive the threshold to zero head-room deterministically.
+            service.shed_threshold = 0
+            conn = http.client.HTTPConnection("127.0.0.1", server.port)
+            conn.request(
+                "POST", "/v1/query",
+                wire.dumps_request(ServiceCPQ(pair="default", k=1)),
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            conn.close()
+            assert response.status == 503
+            assert payload["status"] == "overloaded"
+        finally:
+            server.close()
+
+
+class TestGracefulShutdown:
+    def test_close_drains_in_flight_queries(self, tmp_path):
+        """Queries in flight when close() starts must resolve -- the
+        listener stops, handlers finish, then the service drains."""
+        store = FilePageStore(str(tmp_path / "slow.pages"),
+                              page_size=1024)
+        tree = bulk_load(
+            [(float(i % 20), float(i // 20)) for i in range(200)],
+            file=PagedFile(store, page_size=1024),
+        )
+        # Cold buffer + per-miss latency: every query takes real time.
+        tree.file.buffer.resize(0)
+        tree.file.read_latency = 0.002
+        service = QueryService(workers=2)
+        service.register_pair("default", tree, tree)
+        server = NetServer(service).start_in_thread()
+        results = []
+        lock = threading.Lock()
+
+        def one_query() -> None:
+            with NetClient("127.0.0.1", server.port) as net_client:
+                try:
+                    response = net_client.query(ServiceCPQ(
+                        pair="default", k=5, algorithm="heap",
+                        use_cache=False,
+                    ))
+                    outcome = response.status
+                except NetError as exc:  # pragma: no cover
+                    outcome = f"transport: {exc}"
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=one_query)
+                   for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Let every request reach the server before shutdown begins.
+        import time
+        time.sleep(0.3)
+        server.close()
+        for thread in threads:
+            thread.join(30.0)
+        assert results == ["ok"] * 4
+        # The service is fully closed behind the server.
+        rejected = service.submit(ServiceCPQ(pair="default", k=1))
+        assert rejected.result().status == "rejected"

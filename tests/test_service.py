@@ -367,6 +367,21 @@ class TestService:
         assert response.status == STATUS_REJECTED
         assert "closed" in response.error
 
+    def test_close_drain_resolves_queued_queries(self, service_trees):
+        # A single worker with a backlog: drain must block until every
+        # admitted handle is resolved -- no caller left hanging.
+        __, __, tree_p, tree_q = service_trees
+        service = make_service(tree_p, tree_q, workers=1)
+        handles = [
+            service.submit(CPQRequest(
+                pair="pair", k=3, algorithm="heap", use_cache=False,
+            ))
+            for __i in range(6)
+        ]
+        service.close(drain=True)
+        assert all(handle.done() for handle in handles)
+        assert [h.result(0).status for h in handles] == ["ok"] * 6
+
 
 class TestDeadlines:
     def test_expired_deadline_returns_structured_response(
