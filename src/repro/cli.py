@@ -5,6 +5,8 @@ The subcommands cover the library's workflow end to end::
     repro-cpq generate --kind sequoia --n 10000 --out sites.npy
     repro-cpq generate --kind uniform --n 10000 --overlap 0.5 --out q.npy
     repro-cpq build sites.npy --tree sites.pages
+    repro-cpq ingest more.npy --tree sites.pages --batch-size 64
+    repro-cpq recover --tree sites.pages
     repro-cpq info --tree sites.pages
     repro-cpq query sites.npy q.npy --k 10 --algorithm heap
     repro-cpq explain sites.npy q.npy --k 10 --buffer 64
@@ -49,12 +51,17 @@ def _meta_path(tree_path: str) -> str:
     return tree_path + ".meta.json"
 
 
-def _load_tree(path: str) -> RTree:
+def _wal_path(tree_path: str) -> str:
+    return tree_path + ".wal"
+
+
+def _load_tree(path: str, use_mmap: bool = False) -> RTree:
     """Open a tree from a .pages file, or build one from a points file."""
     if path.endswith(".pages"):
         with open(_meta_path(path)) as handle:
             metadata = json.load(handle)
-        store = FilePageStore(path, metadata["page_size"])
+        store = FilePageStore(path, metadata["page_size"],
+                              use_mmap=use_mmap)
         return RTree.from_storage(PagedFile(store), metadata)
     return bulk_load(load_points(path))
 
@@ -89,6 +96,129 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream points into a live tree through WAL-protected batches.
+
+    Opens (or creates) a ``.pages`` tree with live mutation enabled,
+    then inserts the input points in batches of ``--batch-size``: each
+    batch is one WAL-logged commit and one generation bump.  A normal
+    run flushes the page file, rewrites the ``.meta.json`` sidecar at
+    the final committed state and checkpoints the WAL (unless
+    ``--keep-wal``).  ``--crash-after N`` is the chaos hook: after N
+    committed batches it applies part of the next batch and dies via
+    ``os._exit`` -- no flush, no commit record -- leaving exactly the
+    torn state ``repro-cpq recover`` must replay.
+    """
+    from repro.rtree.tree import RTreeConfig
+    from repro.storage.wal import WriteAheadLog
+
+    points = load_points(args.points)
+    pages = args.tree
+    if os.path.exists(pages):
+        with open(_meta_path(pages)) as handle:
+            metadata = json.load(handle)
+        store = FilePageStore(pages, metadata["page_size"],
+                              use_mmap=args.mmap)
+        tree = RTree.from_storage(PagedFile(store), metadata)
+    else:
+        store = FilePageStore(pages, 1024, use_mmap=args.mmap)
+        tree = RTree(RTreeConfig(), PagedFile(store))
+        with open(_meta_path(pages), "w") as handle:
+            json.dump(tree.metadata(), handle)
+    wal = WriteAheadLog(args.wal or _wal_path(pages),
+                        sync_mode=args.sync)
+    tree.enable_live_mutation(wal)
+
+    start_oid = args.start_oid if args.start_oid is not None else len(tree)
+    batches = 0
+    inserted = 0
+    for offset in range(0, len(points), args.batch_size):
+        chunk = points[offset:offset + args.batch_size]
+        if args.crash_after is not None and batches >= args.crash_after:
+            # Apply part of a batch, then die without COMMIT or flush:
+            # the WAL tail ends mid-batch and the page file may hold
+            # unflushed copy-on-write pages nothing references.
+            from repro.rtree.entries import LeafEntry
+
+            tree._begin_batch()
+            for i, point in enumerate(chunk):
+                tree._batch_ops += 1
+                tree._count += 1
+                tree._insert_entry(
+                    LeafEntry(tuple(float(v) for v in point),
+                              start_oid + inserted + i), 0,
+                )
+            # Die mid-commit: the batch's WRITE records reach the log
+            # but no COMMIT record ever does.
+            for page_id in sorted(tree._batch_pages):
+                node = tree._nodes.get(page_id)
+                if node is not None:
+                    wal.log_write(page_id, tree._serialize_node(node))
+            wal.sync()
+            print(f"# simulating crash mid-batch after {batches} "
+                  f"committed batches", file=sys.stderr, flush=True)
+            os._exit(1)
+        with tree.batch():
+            for i, point in enumerate(chunk):
+                tree.insert(tuple(float(v) for v in point),
+                            start_oid + inserted + i)
+        batches += 1
+        inserted += len(chunk)
+
+    store.flush()
+    with open(_meta_path(pages), "w") as handle:
+        json.dump(tree.metadata(), handle)
+    if not args.keep_wal:
+        wal.checkpoint()
+    wal.close()
+    print(f"ingested {inserted} points in {batches} batches -> {pages} "
+          f"(generation {tree.generation}, {len(tree)} total)")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Replay a WAL onto a page file after a crash.
+
+    Applies every committed batch, truncates the torn tail, rewrites
+    the ``.meta.json`` sidecar at the recovered state and reports what
+    was replayed.  Idempotent: re-running recovery replays the same
+    committed images onto the same pages.
+    """
+    from repro.storage.wal import recover_tree
+
+    pages = args.tree
+    wal_path = args.wal or _wal_path(pages)
+    if not os.path.exists(wal_path):
+        print(f"recover: no WAL at {wal_path}", file=sys.stderr)
+        return 2
+    fallback = None
+    meta_path = _meta_path(pages)
+    if os.path.exists(meta_path):
+        with open(meta_path) as handle:
+            fallback = json.load(handle)
+    page_size = (fallback or {}).get("page_size", 1024)
+    dimension = (fallback or {}).get("dimension", 2)
+    variant = (fallback or {}).get("variant", "rstar")
+    tree, result = recover_tree(
+        pages, wal_path, page_size=page_size, dimension=dimension,
+        variant=variant, use_mmap=args.mmap, fallback_metadata=fallback,
+    )
+    print(f"# WAL: {result.batches_applied} committed batches replayed, "
+          f"{result.pages_written} page images applied, "
+          f"{result.discarded_batches} uncommitted discarded, "
+          f"torn tail: {'yes' if result.torn else 'no'}")
+    if tree is None:
+        print("recover: no committed state in the WAL and no "
+              ".meta.json fallback", file=sys.stderr)
+        return 1
+    with open(meta_path, "w") as handle:
+        json.dump(tree.metadata(), handle)
+    print(f"recovered {pages} at generation {tree.generation}: "
+          f"{len(tree)} points, height {tree.height}")
+    tree.file.store.close()
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
     print(f"tree: {args.tree}")
@@ -96,12 +226,13 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  height:   {tree.height}")
     print(f"  capacity: M={tree.max_entries} m={tree.min_entries}")
     print(f"  variant:  {tree.config.variant}")
+    print(f"  generation: {tree.generation}")
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    tree_p = _load_tree(args.left)
-    tree_q = _load_tree(args.right)
+    tree_p = _load_tree(args.left, use_mmap=args.mmap)
+    tree_q = _load_tree(args.right, use_mmap=args.mmap)
     request = CPQRequest(
         k=args.k,
         algorithm=args.algorithm,
@@ -676,6 +807,46 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--tree", required=True)
     info.set_defaults(func=cmd_info)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream points into a live tree via WAL-protected batches",
+    )
+    ingest.add_argument("points", help="input points (.npy or .csv)")
+    ingest.add_argument("--tree", required=True,
+                        help="target page file (.pages); created when "
+                             "missing, appended to otherwise")
+    ingest.add_argument("--batch-size", type=int, default=64,
+                        help="inserts per commit (one generation bump, "
+                             "one WAL batch each)")
+    ingest.add_argument("--wal", default=None,
+                        help="WAL path (default: <tree>.wal)")
+    ingest.add_argument("--sync", choices=("fsync", "flush", "none"),
+                        default="flush",
+                        help="WAL durability per commit")
+    ingest.add_argument("--mmap", action="store_true",
+                        help="read pages through the mmap path")
+    ingest.add_argument("--start-oid", type=int, default=None,
+                        help="first object id (default: current count)")
+    ingest.add_argument("--keep-wal", action="store_true",
+                        help="skip the final checkpoint; leaves every "
+                             "batch in the WAL")
+    ingest.add_argument("--crash-after", type=int, default=None,
+                        help="chaos hook: die mid-batch (no COMMIT, no "
+                             "flush) after this many committed batches")
+    ingest.set_defaults(func=cmd_ingest)
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay a WAL onto a page file after a crash",
+    )
+    recover.add_argument("--tree", required=True,
+                         help="page file (.pages) to recover")
+    recover.add_argument("--wal", default=None,
+                         help="WAL path (default: <tree>.wal)")
+    recover.add_argument("--mmap", action="store_true",
+                         help="reopen with the mmap read path")
+    recover.set_defaults(func=cmd_recover)
+
     query = sub.add_parser(
         "query", help="run a K closest pairs query"
     )
@@ -691,6 +862,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1,
                        help="intra-query worker threads (partitioned "
                             "executor); results are byte-identical")
+    query.add_argument("--mmap", action="store_true",
+                       help="read .pages inputs through the mmap path")
     query.set_defaults(func=cmd_query)
 
     explain = sub.add_parser(

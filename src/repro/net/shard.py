@@ -78,10 +78,15 @@ _POLL_S = 0.02
 class TreeSpec:
     """Everything a process needs to reopen one persistent tree.
 
-    ``metadata`` is the :meth:`~repro.rtree.tree.RTree.metadata` dict;
-    ``read_latency`` models the device seek exactly as
-    :class:`~repro.storage.paged_file.PagedFile` does (benchmarks use
-    it to put shards in the disk-bound regime).
+    ``metadata`` is the :meth:`~repro.rtree.tree.RTree.metadata` dict
+    *pinned at a committed generation* (see :func:`tree_spec`):
+    because live mutation is copy-on-write, the pages reachable from
+    that root are immutable on disk, so shard processes reopening the
+    spec read a consistent tree even while the coordinator's writer
+    keeps committing batches.  ``read_latency`` models the device seek
+    exactly as :class:`~repro.storage.paged_file.PagedFile` does
+    (benchmarks use it to put shards in the disk-bound regime);
+    ``use_mmap`` reopens the store with the mmap read path.
     """
 
     path: str
@@ -89,9 +94,16 @@ class TreeSpec:
     metadata: Any
     buffer_capacity: int = 64
     read_latency: float = 0.0
+    use_mmap: bool = False
+
+    @property
+    def generation(self) -> int:
+        """The committed generation this spec reopens at."""
+        return int(self.metadata.get("generation", 0))
 
     def open(self) -> RTree:
-        store = FilePageStore(self.path, self.page_size, readonly=True)
+        store = FilePageStore(self.path, self.page_size, readonly=True,
+                              use_mmap=self.use_mmap)
         file = PagedFile(
             store,
             buffer_capacity=self.buffer_capacity,
@@ -102,8 +114,17 @@ class TreeSpec:
 
 
 def tree_spec(tree: RTree, buffer_capacity: Optional[int] = None,
-              read_latency: Optional[float] = None) -> TreeSpec:
-    """Describe an open file-backed tree for shard reopening."""
+              read_latency: Optional[float] = None,
+              use_mmap: bool = False) -> TreeSpec:
+    """Describe an open file-backed tree for shard reopening.
+
+    The spec captures the tree's *committed snapshot*
+    (:meth:`~repro.rtree.tree.RTree.committed`), not its live fields:
+    an open mutation batch on a live tree writes only copy-on-write
+    pages, so after the flush below the committed root and everything
+    reachable from it are durable and immutable -- exactly what a
+    shard process must see.
+    """
     store = tree.file.store
     if not isinstance(store, FilePageStore):
         raise ValueError(
@@ -111,14 +132,23 @@ def tree_spec(tree: RTree, buffer_capacity: Optional[int] = None,
             "in-memory trees cannot be reopened by shard processes"
         )
     store.flush()
+    snapshot = tree.committed()
+    metadata = dict(tree.metadata())
+    metadata.update(
+        root_id=snapshot.root_id,
+        height=snapshot.height,
+        count=snapshot.count,
+        generation=snapshot.generation,
+    )
     return TreeSpec(
         path=store.path,
         page_size=store.page_size,
-        metadata=tree.metadata(),
+        metadata=metadata,
         buffer_capacity=(tree.file.buffer.capacity
                          if buffer_capacity is None else buffer_capacity),
         read_latency=(tree.file.read_latency
                       if read_latency is None else read_latency),
+        use_mmap=use_mmap,
     )
 
 

@@ -17,11 +17,25 @@ The ``variant`` config selects behaviour:
 Reading a node through :meth:`read_node` routes the page fetch through
 the LRU buffer, which is how queries accumulate the disk-access counts
 reported by every figure of the paper.
+
+Every structural mutation flows through a single commit seam
+(:meth:`RTree._commit_mutation`): ``insert`` and ``delete`` open an
+implicit one-operation batch, :meth:`RTree.batch` groups many
+operations (and their R* forced reinsertions) into one, and in both
+cases the generation number advances exactly once per committed batch.
+Calling :meth:`RTree.enable_live_mutation` upgrades the tree to
+copy-on-write: batches then relocate every page they touch to freshly
+allocated pages, readers pin consistent :class:`Snapshot` generations
+through :meth:`RTree.pin` / :meth:`RTree.view`, superseded pages are
+reclaimed once unpinned, and an optional write-ahead log
+(:class:`repro.storage.wal.WriteAheadLog`) makes each commit durable
+before it is published.  See ``docs/STORAGE.md``.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -35,6 +49,7 @@ from repro.rtree.splits import linear_split, quadratic_split, rstar_split
 from repro.storage.page import PageLayout
 from repro.storage.paged_file import PagedFile
 from repro.storage.serializer import NodeSerializer
+from repro.storage.snapshot import Snapshot, SnapshotManager, SnapshotView
 
 VARIANTS = ("rstar", "guttman", "linear")
 
@@ -100,12 +115,26 @@ class RTree:
         self.root_id: Optional[int] = None
         self.height = 0  # number of levels; 0 means empty
         self._count = 0
-        #: Bumped on every structural mutation (insert/delete); cached
-        #: query results keyed on it (see repro.service.cache) become
-        #: unreachable the moment the indexed set changes.
+        #: Bumped once per committed mutation batch by the commit seam
+        #: (:meth:`_commit_mutation`); cached query results keyed on it
+        #: (see repro.service.cache) become unreachable the moment the
+        #: indexed set changes.
         self.generation = 0
         self._nodes: dict[int, Node] = {}
         self._reinserted_levels: Set[int] = set()
+        # Live-mutation state (None/inactive until enable_live_mutation).
+        self._snapshots: Optional[SnapshotManager] = None
+        self._wal = None
+        self._batch_depth = 0
+        self._batch_ops = 0
+        self._batch_failed = False
+        #: Pages allocated (and still live) in the open batch; under
+        #: copy-on-write these are the only pages the batch may write.
+        self._batch_pages: Set[int] = set()
+        #: Committed pages superseded by the open batch; freed lazily
+        #: once no pinned snapshot can reach them.
+        self._batch_freed: List[int] = []
+        self._pre_batch: Tuple[Optional[int], int, int] = (None, 0, 0)
 
     # -- basic properties ------------------------------------------------
 
@@ -172,47 +201,282 @@ class RTree:
             return None
         return self.read_node(self.root_id)
 
-    def _write_node(self, node: Node) -> None:
+    def _serialize_node(self, node: Node) -> bytes:
         if node.is_leaf:
-            data = self.serializer.serialize_leaf(node.to_tuples())
-        else:
-            data = self.serializer.serialize_internal(
-                node.level, node.to_tuples()
-            )
-        self.file.write_page(node.page_id, data)
+            return self.serializer.serialize_leaf(node.to_tuples())
+        return self.serializer.serialize_internal(
+            node.level, node.to_tuples()
+        )
+
+    def _write_node(self, node: Node) -> None:
+        self.file.write_page(node.page_id, self._serialize_node(node))
         self._nodes[node.page_id] = node
 
     def _new_node(self, level: int) -> Node:
         page_id = self.file.allocate()
+        if self.live:
+            self._batch_pages.add(page_id)
         node = Node(page_id, level)
         self._nodes[page_id] = node
         return node
 
     def _free_node(self, node: Node) -> None:
+        if self.live and node.page_id not in self._batch_pages:
+            # A committed page: pinned snapshots may still reach it, so
+            # defer the free until the snapshot manager drains it.
+            self._batch_freed.append(node.page_id)
+            return
+        self._batch_pages.discard(node.page_id)
         self.file.free_page(node.page_id)
         self._nodes.pop(node.page_id, None)
+
+    # -- live mutation: snapshots, batches and the commit seam ----------------
+
+    @property
+    def live(self) -> bool:
+        """Whether copy-on-write live mutation is enabled."""
+        return self._snapshots is not None
+
+    @property
+    def snapshots(self) -> Optional[SnapshotManager]:
+        """The snapshot manager, or None before ``enable_live_mutation``."""
+        return self._snapshots
+
+    @property
+    def wal(self):
+        """The attached write-ahead log, or None."""
+        return self._wal
+
+    def enable_live_mutation(self, wal=None) -> SnapshotManager:
+        """Switch the tree to copy-on-write mutation with snapshots.
+
+        From this point every mutation batch relocates the pages it
+        touches to fresh allocations and publishes its result as a new
+        :class:`Snapshot` generation; committed pages stay immutable
+        until no pin can reach them.  When ``wal`` (a
+        :class:`repro.storage.wal.WriteAheadLog`) is given, each batch
+        appends its final page images and a COMMIT record -- synced
+        per the log's ``sync_mode`` -- *before* the snapshot is
+        published, so a crash can always be replayed to the last
+        committed generation.
+        """
+        if self._batch_depth:
+            raise RuntimeError(
+                "cannot enable live mutation inside an open batch"
+            )
+        self._snapshots = SnapshotManager(
+            self._reclaim_page,
+            Snapshot(self.generation, self.root_id, self.height,
+                     self._count),
+        )
+        self._wal = wal
+        return self._snapshots
+
+    def _reclaim_page(self, page_id: int) -> None:
+        """Really free a superseded page (snapshot-manager callback)."""
+        self.file.free_page(page_id)
+        self._nodes.pop(page_id, None)
+
+    def committed(self) -> Snapshot:
+        """The last committed snapshot (without pinning it)."""
+        if self._snapshots is not None:
+            return self._snapshots.current()
+        return Snapshot(self.generation, self.root_id, self.height,
+                        self._count)
+
+    def pin(self) -> Snapshot:
+        """Pin the committed snapshot for reading (see :meth:`view`).
+
+        On a non-live tree this degrades to an unpinned
+        :meth:`committed` peek, so callers can pin/release uniformly.
+        """
+        if self._snapshots is not None:
+            return self._snapshots.pin()
+        return self.committed()
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Release a pin taken with :meth:`pin` (no-op when non-live)."""
+        if self._snapshots is not None:
+            self._snapshots.release(snapshot)
+
+    def view(self, snapshot: Optional[Snapshot] = None) -> SnapshotView:
+        """A read view of the tree frozen at ``snapshot``.
+
+        The view exposes the full read-side surface the query
+        algorithms use; pair it with :meth:`pin`/:meth:`release` to
+        keep the snapshot's pages alive for the view's lifetime.
+        """
+        if snapshot is None:
+            snapshot = self.committed()
+        return SnapshotView(self, snapshot)
+
+    def batch(self):
+        """Context manager grouping mutations into one commit.
+
+        All inserts/deletes inside the ``with`` block share one R*
+        forced-reinsertion budget and commit as a single generation
+        bump (one WAL batch, one snapshot publication).  On an
+        exception the batch rolls back: a live tree restores the
+        previous committed state exactly (its pages were never
+        touched); a non-live tree cannot un-write pages and only bumps
+        the generation so stale caches drop.
+        """
+        return self._mutation()
+
+    @contextmanager
+    def _mutation(self):
+        self._begin_batch()
+        try:
+            yield self
+        except BaseException:
+            self._abort_batch()
+            raise
+        else:
+            self._commit_batch()
+
+    def _begin_batch(self) -> None:
+        self._batch_depth += 1
+        if self._batch_depth > 1:
+            return
+        self._batch_ops = 0
+        self._batch_failed = False
+        self._batch_pages = set()
+        self._batch_freed = []
+        self._reinserted_levels = set()
+        self._pre_batch = (self.root_id, self.height, self._count)
+        if self.live and self._wal is not None:
+            self._wal.begin(self.generation)
+
+    def _commit_batch(self) -> None:
+        self._batch_depth -= 1
+        if self._batch_depth:
+            return
+        if self._batch_failed:
+            self._rollback_batch()
+            raise RuntimeError(
+                "mutation batch poisoned by an earlier error; rolled back"
+            )
+        self._commit_mutation()
+
+    def _abort_batch(self) -> None:
+        self._batch_depth -= 1
+        if self._batch_depth:
+            # An enclosing batch is still open; it cannot commit a
+            # half-applied operation, so poison it.
+            self._batch_failed = True
+            return
+        self._rollback_batch()
+
+    def _commit_mutation(self) -> None:
+        """The single mutation seam: every committed batch ends here.
+
+        Bumps the generation exactly once, appends the batch's final
+        page images to the WAL (when attached) and publishes the new
+        snapshot -- in that order, so durability always precedes
+        visibility.  No-op batches (zero operations) commit nothing
+        and do not advance the generation.
+        """
+        if not self._batch_ops:
+            self._batch_pages = set()
+            self._batch_freed = []
+            return
+        self._batch_ops = 0
+        self.generation += 1
+        if not self.live:
+            return
+        if self._wal is not None:
+            for page_id in sorted(self._batch_pages):
+                node = self._nodes.get(page_id)
+                if node is not None:
+                    image = self._serialize_node(node)
+                else:
+                    image = self.file.read_page(page_id)
+                self._wal.log_write(page_id, image)
+            for page_id in self._batch_freed:
+                self._wal.log_free(page_id)
+            self._wal.commit(
+                self.generation, self.root_id, self.height, self._count
+            )
+        self._snapshots.publish(
+            Snapshot(self.generation, self.root_id, self.height,
+                     self._count),
+            self._batch_freed,
+        )
+        self._batch_pages = set()
+        self._batch_freed = []
+
+    def _rollback_batch(self) -> None:
+        """Undo an aborted batch as far as the storage mode allows."""
+        if self.live:
+            self.root_id, self.height, self._count = self._pre_batch
+            for page_id in self._batch_pages:
+                self._nodes.pop(page_id, None)
+                self.file.free_page(page_id)
+        else:
+            # Pages are mutated in place: the structure cannot be
+            # restored, but bumping the generation at least drops any
+            # cached results derived from it.
+            self.generation += 1
+        self._batch_ops = 0
+        self._batch_failed = False
+        self._batch_pages = set()
+        self._batch_freed = []
+
+    def _shadow(self, node: Node, parent: Optional[Node] = None,
+                index: Optional[int] = None) -> Node:
+        """Copy-on-write relocation of one committed page.
+
+        Under live mutation a batch may only write pages it allocated
+        itself; a committed node is cloned onto a fresh page first (the
+        original stays byte-identical for pinned readers).  The parent
+        pointer (or the root pointer) is repointed and persisted
+        immediately, so later MBR-unchanged early returns in
+        :meth:`_adjust_path` cannot leave a stale child id behind.
+        """
+        if not self.live or node.page_id in self._batch_pages:
+            return node
+        old_id = node.page_id
+        new_id = self.file.allocate()
+        self._batch_pages.add(new_id)
+        clone = Node(new_id, node.level, list(node.entries))
+        self._nodes[new_id] = clone
+        self._batch_freed.append(old_id)
+        self._write_node(clone)
+        if parent is None:
+            self.root_id = new_id
+        else:
+            entry = parent.entries[index]
+            parent.entries[index] = InternalEntry(entry.mbr, new_id)
+            self._write_node(parent)
+        return clone
 
     # -- insertion -------------------------------------------------------------
 
     def insert(self, point: Sequence[float], oid: int) -> None:
-        """Insert one point with its object id."""
+        """Insert one point with its object id.
+
+        Outside an explicit :meth:`batch` this is an implicit
+        one-operation batch: the generation bumps once and, under live
+        mutation, the commit publishes a snapshot (and WAL batch) of
+        its own.
+        """
         if len(point) != self.dimension:
             raise ValueError(
                 f"point of dimension {len(point)}; tree expects "
                 f"{self.dimension}"
             )
-        entry = LeafEntry(tuple(point), oid)
-        self._count += 1
-        self.generation += 1
-        if self.root_id is None:
-            root = self._new_node(0)
-            root.add(entry)
-            self._write_node(root)
-            self.root_id = root.page_id
-            self.height = 1
-            return
-        self._reinserted_levels = set()
-        self._insert_entry(entry, 0)
+        with self._mutation():
+            entry = LeafEntry(tuple(point), oid)
+            self._count += 1
+            self._batch_ops += 1
+            if self.root_id is None:
+                root = self._new_node(0)
+                root.add(entry)
+                self._write_node(root)
+                self.root_id = root.page_id
+                self.height = 1
+            else:
+                self._insert_entry(entry, 0)
 
     def insert_many(self, points, oids=None) -> None:
         """Insert a batch of points (object ids default to 0..n-1)."""
@@ -220,13 +484,20 @@ class RTree:
             self.insert(point, oids[i] if oids is not None else i)
 
     def _insert_entry(self, entry: Entry, level: int) -> None:
-        """Insert ``entry`` into a node at ``level`` (0 = leaf level)."""
+        """Insert ``entry`` into a node at ``level`` (0 = leaf level).
+
+        Under live mutation every node along the chosen path is
+        shadowed (:meth:`_shadow`) before it can be written to.
+        """
         path: List[Tuple[Node, int]] = []
-        node = self.read_node(self.root_id)
+        node = self._shadow(self.read_node(self.root_id))
         while node.level > level:
             index = self._choose_subtree(node, entry.mbr)
+            child = self._shadow(
+                self.read_node(node.entries[index].child_id), node, index
+            )
             path.append((node, index))
-            node = self.read_node(node.entries[index].child_id)
+            node = child
         node.add(entry)
         self._propagate(node, path)
 
@@ -345,19 +616,44 @@ class RTree:
         """
         if self.root_id is None:
             return False
-        target = tuple(float(v) for v in point)
-        found = self._find_leaf(
-            self.read_node(self.root_id), target, oid, []
-        )
-        if found is None:
-            return False
-        leaf, index, path = found
-        leaf.remove_at(index)
-        self._count -= 1
-        self.generation += 1
-        self._condense(leaf, path)
-        self._shrink_root()
-        return True
+        with self._mutation():
+            target = tuple(float(v) for v in point)
+            found = self._find_leaf(
+                self.read_node(self.root_id), target, oid, []
+            )
+            if found is None:
+                removed = False
+            else:
+                leaf, index, path = found
+                leaf, path = self._shadow_found_path(leaf, path)
+                leaf.remove_at(index)
+                self._count -= 1
+                self._batch_ops += 1
+                self._condense(leaf, path)
+                self._shrink_root()
+                removed = True
+        return removed
+
+    def _shadow_found_path(
+        self, leaf: Node, path: List[Tuple[Node, int]]
+    ) -> Tuple[Node, List[Tuple[Node, int]]]:
+        """Shadow a root-to-leaf path located by :meth:`_find_leaf`.
+
+        The search reads committed nodes; before the delete may write
+        any of them, the whole path is relocated top-down so each
+        shadowed parent points at its shadowed child.
+        """
+        if not self.live:
+            return leaf, path
+        shadowed: List[Tuple[Node, int]] = []
+        parent: Optional[Node] = None
+        index: Optional[int] = None
+        for node, i in path:
+            node = self._shadow(node, parent, index)
+            shadowed.append((node, i))
+            parent, index = node, i
+        leaf = self._shadow(leaf, parent, index)
+        return leaf, shadowed
 
     def _find_leaf(self, node, point, oid, path):
         if node.is_leaf:
@@ -424,6 +720,7 @@ class RTree:
             "root_id": self.root_id,
             "height": self.height,
             "count": self._count,
+            "generation": self.generation,
             "variant": self.config.variant,
             "page_size": self.config.layout.page_size,
             "dimension": self.config.layout.dimension,
@@ -443,6 +740,7 @@ class RTree:
         tree.root_id = metadata["root_id"]
         tree.height = int(metadata["height"])
         tree._count = int(metadata["count"])
+        tree.generation = int(metadata.get("generation", 0))
         return tree
 
     # -- iteration ----------------------------------------------------------------

@@ -20,12 +20,18 @@ Design points:
   leaves trees and buffer pools consistent (the traversal only reads).
 * **No exception escapes the pool** -- worker errors become ``error``
   responses carrying the exception text.
-* **Mutations** -- tree inserts/deletes bump the tree's generation
-  counter; the service notices on the next query against the pair,
-  eagerly drops the pair's cache entries and re-shapes the trees for
-  the planner.  Mutating a tree *while* queries on it are in flight is
-  not supported -- quiesce the pair first (the trees' write paths are
-  not synchronised with readers).
+* **Mutations** -- every execution pins both trees' *committed
+  snapshots* (:meth:`repro.rtree.tree.RTree.pin`) for its duration
+  and reads through :class:`~repro.storage.snapshot.SnapshotView`
+  proxies, so the whole query sees one consistent generation per
+  tree.  Cache keys embed the pinned (committed) generations; a
+  commit landing mid-query does not disturb the running traversal
+  and is noticed by the next one, which drops the pair's stale cache
+  entries and re-shapes the trees for the planner.  On trees with
+  live mutation enabled (:meth:`~repro.rtree.tree.RTree.
+  enable_live_mutation`) writers may therefore commit batches while
+  queries are in flight; on plain trees pinning degrades to an
+  unpinned peek and the old quiesce-first rule still applies.
 """
 
 from __future__ import annotations
@@ -121,6 +127,14 @@ class CPQRequest:
     #: that many workers (still capped by ``max_query_workers``).
     #: Execution-only -- does not participate in the cache key.
     workers: int = 0
+    #: Pin both trees' committed snapshots for the duration of the
+    #: execution (the default).  A pinned query reads one consistent
+    #: generation per tree even while writers commit batches; pages it
+    #: can reach are not reclaimed until it releases.  ``False`` reads
+    #: the live tree state unpinned -- only safe when nothing mutates
+    #: concurrently.  Execution-only: not part of the cache key (the
+    #: key already embeds the committed generations).
+    pin_snapshot: bool = True
 
     def to_query(self, algorithm: Optional[str] = None,
                  workers: Optional[int] = None) -> core_api.CPQRequest:
@@ -719,7 +733,32 @@ class QueryService:
                 status=STATUS_ERROR, kind=request.kind,
                 error=f"unknown pair {request.pair!r}",
             )
-        generation_p, generation_q = self._refresh_pair(pair)
+        # Pin both committed snapshots for the whole execution: cache
+        # key, planner refresh and traversal all describe exactly these
+        # generations, and no page either query can reach is reclaimed
+        # until the pins release (see docs/STORAGE.md).
+        pin = getattr(request, "pin_snapshot", True)
+        snap_p = pair.tree_p.pin() if pin else pair.tree_p.committed()
+        snap_q = pair.tree_q.pin() if pin else pair.tree_q.committed()
+        try:
+            return self._execute_pinned(
+                pair, request, deadline, snap_p, snap_q, preplanned
+            )
+        finally:
+            if pin:
+                pair.tree_p.release(snap_p)
+                pair.tree_q.release(snap_q)
+
+    def _execute_pinned(
+        self, pair: _RegisteredPair, request: Request,
+        deadline: Optional[float], snap_p, snap_q,
+        preplanned: Optional[PlanDecision] = None,
+    ) -> QueryResponse:
+        generation_p, generation_q = self._refresh_pair(
+            pair, (snap_p.generation, snap_q.generation)
+        )
+        view_p = pair.tree_p.view(snap_p)
+        view_q = pair.tree_q.view(snap_q)
 
         key = None
         if request.use_cache and self.cache.capacity > 0:
@@ -769,15 +808,15 @@ class QueryService:
         try:
             if request.kind == "cpq":
                 result, algorithm, plan = self._run_cpq(
-                    pair, request, deadline, preplanned
+                    pair, view_p, view_q, request, deadline, preplanned
                 )
             elif request.kind == "knn":
                 result, algorithm, plan = self._run_knn(
-                    pair, request, deadline
+                    view_p, view_q, request, deadline
                 )
             else:
                 result, algorithm, plan = self._run_range(
-                    pair, request, deadline
+                    view_p, view_q, request, deadline
                 )
         except StorageError as exc:
             # Retries are already exhausted (or corruption confirmed)
@@ -833,6 +872,8 @@ class QueryService:
     def _run_cpq(
         self,
         pair: _RegisteredPair,
+        view_p,
+        view_q,
         request: CPQRequest,
         deadline: Optional[float],
         preplanned: Optional[PlanDecision] = None,
@@ -870,13 +911,13 @@ class QueryService:
         result = None
         if self._cpq_executor is not None:
             result = self._cpq_executor(
-                pair.name, pair.tree_p, pair.tree_q, core_request,
+                pair.name, view_p, view_q, core_request,
                 probe, self.tracer,
             )
         if result is None:
             result = k_closest_pairs(
-                pair.tree_p,
-                pair.tree_q,
+                view_p,
+                view_q,
                 request=core_request,
                 cancel_check=probe,
                 tracer=self.tracer,
@@ -887,11 +928,12 @@ class QueryService:
 
     def _run_knn(
         self,
-        pair: _RegisteredPair,
+        view_p,
+        view_q,
         request: KNNRequest,
         deadline: Optional[float],
     ):
-        tree = self._side(pair, request.side)
+        tree = self._side(view_p, view_q, request.side)
         found = nearest_neighbors(tree, request.point, k=request.k)
         # The single-tree traversals have no cooperative hook; they are
         # short (O(height) node reads), so the deadline is enforced at
@@ -901,31 +943,42 @@ class QueryService:
 
     def _run_range(
         self,
-        pair: _RegisteredPair,
+        view_p,
+        view_q,
         request: RangeRequest,
         deadline: Optional[float],
     ):
-        tree = self._side(pair, request.side)
+        tree = self._side(view_p, view_q, request.side)
         found = range_query(tree, MBR(request.lo, request.hi))
         self._check_deadline(deadline)
         return found, None, None
 
     @staticmethod
-    def _side(pair: _RegisteredPair, side: str) -> RTree:
+    def _side(view_p, view_q, side: str):
         if side == "p":
-            return pair.tree_p
+            return view_p
         if side == "q":
-            return pair.tree_q
+            return view_q
         raise ValueError(f"side must be 'p' or 'q', not {side!r}")
 
     # -- pair state --------------------------------------------------------
 
-    def _refresh_pair(self, pair: _RegisteredPair) -> Tuple[int, int]:
+    def _refresh_pair(
+        self, pair: _RegisteredPair,
+        generations: Optional[Tuple[int, int]] = None,
+    ) -> Tuple[int, int]:
         """Observe tree generations; invalidate on mutation.
 
-        Returns the generations the subsequent execution is keyed on.
+        ``generations`` carries the pinned committed generations when
+        the caller already holds a snapshot pair; otherwise the trees'
+        committed state is peeked.  Returns the generations the
+        subsequent execution is keyed on.
         """
-        generations = (pair.tree_p.generation, pair.tree_q.generation)
+        if generations is None:
+            generations = (
+                pair.tree_p.committed().generation,
+                pair.tree_q.committed().generation,
+            )
         with pair.lock:
             if generations != pair.seen_generations:
                 pair.seen_generations = generations

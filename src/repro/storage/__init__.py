@@ -18,6 +18,10 @@ subpackage provides that substrate:
 * :mod:`~repro.storage.faults` -- deterministic fault injection
   (transient errors, latency spikes, bit-flips, torn writes) for the
   resilience stack; see ``docs/RESILIENCE.md``.
+* :mod:`~repro.storage.wal` -- write-ahead log with CRC-framed records
+  and crash-recovery replay for live mutation; see ``docs/STORAGE.md``.
+* :mod:`~repro.storage.snapshot` -- generation snapshots: pinned
+  consistent reads while copy-on-write batches commit.
 """
 
 from repro.storage.buffer import (
@@ -30,14 +34,24 @@ from repro.storage.faults import (
     FaultPlan,
     FaultStats,
     FaultyPageStore,
+    tear_file_tail,
     wrap_tree_store,
     unwrap_tree_store,
 )
 from repro.storage.page import PAGE_FORMAT_VERSION, PageLayout
 from repro.storage.paged_file import PagedFile
 from repro.storage.serializer import NodeSerializer, page_checksum
+from repro.storage.snapshot import Snapshot, SnapshotManager, SnapshotView
 from repro.storage.stats import IOStats
 from repro.storage.store import FilePageStore, MemoryPageStore, PageStore
+from repro.storage.wal import (
+    WAL_MAGIC,
+    RecoveryResult,
+    WALCorruptionError,
+    WALStats,
+    WriteAheadLog,
+    recover_tree,
+)
 
 __all__ = [
     "PageLayout",
@@ -51,6 +65,7 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "SCHEDULES",
+    "tear_file_tail",
     "wrap_tree_store",
     "unwrap_tree_store",
     "LRUBuffer",
@@ -58,4 +73,13 @@ __all__ = [
     "DEFAULT_RETRY_POLICY",
     "PagedFile",
     "IOStats",
+    "WriteAheadLog",
+    "WAL_MAGIC",
+    "WALCorruptionError",
+    "WALStats",
+    "RecoveryResult",
+    "recover_tree",
+    "Snapshot",
+    "SnapshotManager",
+    "SnapshotView",
 ]

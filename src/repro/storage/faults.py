@@ -23,6 +23,7 @@ in :data:`SCHEDULES`.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -216,6 +217,31 @@ class FaultyPageStore:
         bit_index = self._rng.randrange(len(image) * 8)
         image[bit_index // 8] ^= 1 << (bit_index % 8)
         return bytes(image)
+
+
+def tear_file_tail(path: str, seed: int = 0, max_bytes: int = 256) -> int:
+    """Damage a file's tail the way a crashed writer would.
+
+    Deterministically (per ``seed``) either truncates up to
+    ``max_bytes`` from the end or zero-fills them in place -- the two
+    shapes a torn final WAL record takes after a crash (lost tail vs
+    partially persisted frame).  Returns the number of damaged bytes.
+    The WAL's CRC framing must detect either shape and stop replay at
+    the last intact record; ``tests/test_recovery.py`` drives this
+    against :meth:`repro.storage.wal.WriteAheadLog.recover_into`.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        return 0
+    rng = random.Random(seed)
+    cut = rng.randrange(1, min(max_bytes, size) + 1)
+    with open(path, "r+b") as handle:
+        if rng.random() < 0.5:
+            handle.truncate(size - cut)
+        else:
+            handle.seek(size - cut)
+            handle.write(b"\x00" * cut)
+    return cut
 
 
 def wrap_tree_store(tree, plan: FaultPlan,

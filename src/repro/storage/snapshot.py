@@ -1,0 +1,190 @@
+"""Generation snapshots: consistent reads while writers mutate.
+
+The live-mutation layer (``docs/STORAGE.md``) gives every committed
+tree state a *generation number* and treats the pages reachable from
+that generation's root as immutable: a mutation batch writes only
+freshly allocated pages (copy-on-write path shadowing in
+:mod:`repro.rtree.tree`) and publishes the new root here, in one
+atomic step, when it commits.
+
+Readers *pin* the current :class:`Snapshot` before traversing and
+release it after; while pinned, every page their root can reach stays
+exactly as committed -- a query admitted before a commit finishes on
+the old generation, one admitted after starts on the new one, and no
+query ever observes a mix.  Pages superseded by a commit are not freed
+immediately but parked in this manager and reclaimed once no pin can
+still reach them (the refcounted epoch scheme of every MVCC store).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One committed tree state: the root and counters of a generation.
+
+    Immutable and hashable; holding a ``Snapshot`` alone does *not*
+    protect its pages -- only a pin obtained from
+    :meth:`SnapshotManager.pin` (or :meth:`repro.rtree.tree.RTree.pin`)
+    defers reclamation.
+    """
+
+    generation: int
+    root_id: Optional[int]
+    height: int
+    count: int
+
+
+class SnapshotManager:
+    """Pins, publication and deferred page reclamation for one tree.
+
+    ``reclaim`` is the callback that *really* frees a page once no pin
+    can reach it (the tree wires it to ``PagedFile.free_page`` plus its
+    decoded-node cache eviction).  All state is guarded by one lock;
+    :meth:`pin` and :meth:`publish` are atomic with respect to each
+    other, which is the whole point -- a reader either pins the old
+    generation (blocking its reclamation) or the new one, never a
+    half-published state.
+    """
+
+    def __init__(self, reclaim: Callable[[int], None],
+                 initial: Snapshot):
+        self._reclaim = reclaim
+        self._lock = threading.Lock()
+        self._current = initial
+        #: generation -> live pin count.
+        self._pins: Dict[int, int] = {}
+        #: ``(last_generation_referencing_them, [page_ids])`` queues;
+        #: reclaimable once every pin is newer than the threshold.
+        self._pending: List[Tuple[int, List[int]]] = []
+        #: Pages actually handed back; observability for tests/stats.
+        self.reclaimed = 0
+
+    # -- read side ---------------------------------------------------------
+
+    def current(self) -> Snapshot:
+        """The committed snapshot (unpinned peek)."""
+        with self._lock:
+            return self._current
+
+    def pin(self) -> Snapshot:
+        """Pin and return the committed snapshot.
+
+        Every pin must be balanced by exactly one :meth:`release`;
+        unreleased pins park superseded pages forever.
+        """
+        with self._lock:
+            snap = self._current
+            self._pins[snap.generation] = (
+                self._pins.get(snap.generation, 0) + 1
+            )
+            return snap
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Release one pin; may trigger deferred reclamation."""
+        with self._lock:
+            live = self._pins.get(snapshot.generation, 0) - 1
+            if live < 0:
+                raise ValueError(
+                    f"release of generation {snapshot.generation} "
+                    f"without a matching pin"
+                )
+            if live:
+                self._pins[snapshot.generation] = live
+            else:
+                self._pins.pop(snapshot.generation, None)
+            self._drain_locked()
+
+    def pinned(self) -> int:
+        """Total live pins across all generations."""
+        with self._lock:
+            return sum(self._pins.values())
+
+    # -- write side --------------------------------------------------------
+
+    def publish(self, snapshot: Snapshot,
+                superseded: Optional[List[int]] = None) -> None:
+        """Atomically install a new committed snapshot.
+
+        ``superseded`` lists the pages the committing batch released;
+        they were reachable from every generation up to (and including)
+        the *previous* one, so they reclaim once no pin at or below it
+        remains.
+        """
+        with self._lock:
+            previous = self._current.generation
+            if snapshot.generation <= previous:
+                raise ValueError(
+                    f"snapshot generation {snapshot.generation} does not "
+                    f"advance the committed {previous}"
+                )
+            self._current = snapshot
+            if superseded:
+                self._pending.append((previous, list(superseded)))
+            self._drain_locked()
+
+    def pending_pages(self) -> int:
+        """Pages parked awaiting reclamation (observability)."""
+        with self._lock:
+            return sum(len(pages) for __, pages in self._pending)
+
+    def _drain_locked(self) -> None:
+        """Reclaim every queue no live pin can still reach."""
+        if not self._pending:
+            return
+        floor = min(self._pins) if self._pins else None
+        keep: List[Tuple[int, List[int]]] = []
+        for threshold, pages in self._pending:
+            if floor is not None and floor <= threshold:
+                keep.append((threshold, pages))
+                continue
+            for page_id in pages:
+                self._reclaim(page_id)
+                self.reclaimed += 1
+        self._pending = keep
+
+
+class SnapshotView:
+    """A tree read through one pinned snapshot.
+
+    Exposes the read-side surface the query algorithms use
+    (``read_node`` / ``read_root`` / ``root_id`` / ``dimension`` /
+    ``stats`` / ``file`` ...), with the root, height, count and
+    generation frozen at the snapshot; everything else delegates to the
+    underlying tree.  The view does not own the pin -- the caller that
+    pinned the snapshot releases it after the query (see
+    :meth:`repro.rtree.tree.RTree.view`).
+    """
+
+    def __init__(self, tree, snapshot: Snapshot):
+        self.tree = tree
+        self.snapshot = snapshot
+        self.root_id = snapshot.root_id
+        self.height = snapshot.height
+        self.generation = snapshot.generation
+
+    def read_node(self, page_id: int):
+        return self.tree.read_node(page_id)
+
+    def read_root(self):
+        if self.root_id is None:
+            return None
+        return self.tree.read_node(self.root_id)
+
+    def __len__(self) -> int:
+        return self.snapshot.count
+
+    def __getattr__(self, name: str):
+        # dimension, file, stats, config, max_entries, ... -- anything
+        # not frozen by the snapshot resolves against the live tree.
+        return getattr(self.tree, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotView(generation={self.generation}, "
+            f"root={self.root_id}, count={self.snapshot.count})"
+        )

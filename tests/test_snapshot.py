@@ -1,0 +1,299 @@
+"""Snapshot generations: COW isolation, pinning, rollback, concurrency.
+
+Exercises the MVCC side of the live-mutation layer
+(``docs/STORAGE.md``): a pinned reader sees exactly the generation it
+pinned while a writer commits batches underneath it; superseded pages
+park until the last pin that can reach them is released; batches bump
+the generation exactly once through the commit seam; aborted batches
+roll back bodily.  The concurrent stress test at the bottom is the
+acceptance check that a query admitted during a write batch observes a
+single consistent generation.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import CPQRequest, k_closest_pairs
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.storage.page import PageLayout
+from repro.storage.snapshot import Snapshot, SnapshotManager
+
+SMALL = PageLayout(page_size=16 + 4 * 48)  # M = 4
+
+
+def live_tree(points=(), layout=SMALL):
+    tree = RTree(RTreeConfig(layout=layout))
+    for oid, point in enumerate(points):
+        tree.insert(point, oid)
+    tree.enable_live_mutation()
+    return tree
+
+
+def grid(n, dx=0.0, dy=0.0):
+    side = int(n ** 0.5) + 1
+    return [((i % side) + dx, (i // side) + dy) for i in range(n)]
+
+
+def leaf_points(view):
+    """Materialise (point, oid) pairs reachable from a view's root."""
+    if view.root_id is None:
+        return set()
+    found = set()
+    stack = [view.root_id]
+    while stack:
+        node = view.read_node(stack.pop())
+        if node.is_leaf:
+            found.update((e.point, e.oid) for e in node.entries)
+        else:
+            stack.extend(e.child_id for e in node.entries)
+    return found
+
+
+class TestManager:
+    def test_pin_release_accounting(self):
+        manager = SnapshotManager(lambda pid: None,
+                                  Snapshot(0, None, 0, 0))
+        first = manager.pin()
+        second = manager.pin()
+        assert manager.pinned() == 2
+        manager.release(first)
+        manager.release(second)
+        assert manager.pinned() == 0
+
+    def test_unbalanced_release_rejected(self):
+        manager = SnapshotManager(lambda pid: None,
+                                  Snapshot(0, None, 0, 0))
+        snap = manager.pin()
+        manager.release(snap)
+        with pytest.raises(ValueError, match="without a matching pin"):
+            manager.release(snap)
+
+    def test_publish_must_advance_generation(self):
+        manager = SnapshotManager(lambda pid: None,
+                                  Snapshot(3, None, 0, 0))
+        with pytest.raises(ValueError, match="does not advance"):
+            manager.publish(Snapshot(3, None, 0, 0))
+
+    def test_superseded_pages_park_until_unpinned(self):
+        freed = []
+        manager = SnapshotManager(freed.append, Snapshot(0, 0, 1, 1))
+        pin = manager.pin()
+        manager.publish(Snapshot(1, 5, 1, 1), superseded=[0])
+        assert manager.pending_pages() == 1 and freed == []
+        manager.release(pin)
+        assert freed == [0] and manager.pending_pages() == 0
+        assert manager.reclaimed == 1
+
+    def test_unpinned_publish_reclaims_immediately(self):
+        freed = []
+        manager = SnapshotManager(freed.append, Snapshot(0, 0, 1, 1))
+        manager.publish(Snapshot(1, 5, 1, 1), superseded=[0, 3])
+        assert sorted(freed) == [0, 3]
+
+    def test_old_pin_blocks_newer_queues_too(self):
+        # A pin at generation 0 must keep pages superseded by *both*
+        # later commits: its root can still reach the gen-0 pages, and
+        # draining is all-or-nothing per queue threshold.
+        freed = []
+        manager = SnapshotManager(freed.append, Snapshot(0, 0, 1, 1))
+        pin = manager.pin()
+        manager.publish(Snapshot(1, 5, 1, 1), superseded=[0])
+        manager.publish(Snapshot(2, 9, 1, 1), superseded=[5])
+        assert freed == [] and manager.pending_pages() == 2
+        manager.release(pin)
+        assert sorted(freed) == [0, 5]
+
+
+class TestTreeSnapshots:
+    def test_reader_pinned_during_commit_sees_old_generation(self):
+        tree = live_tree(grid(100))
+        pinned = tree.pin()
+        before = leaf_points(tree.view(pinned))
+        with tree.batch():
+            for oid, point in enumerate(grid(50, dx=100.0), start=100):
+                tree.insert(point, oid)
+        # The live tree moved on; the pinned view did not.
+        assert len(tree) == 150
+        assert tree.committed().generation == pinned.generation + 1
+        again = leaf_points(tree.view(pinned))
+        assert again == before and len(again) == 100
+        tree.release(pinned)
+
+    def test_superseded_pages_reclaimed_after_release(self):
+        tree = live_tree(grid(120))
+        pinned = tree.pin()
+        with tree.batch():
+            for oid in range(40):
+                assert tree.delete(grid(120)[oid], oid)
+        parked = tree.snapshots.pending_pages()
+        assert parked > 0
+        reclaimed_before = tree.snapshots.reclaimed
+        tree.release(pinned)
+        assert tree.snapshots.pending_pages() == 0
+        assert tree.snapshots.reclaimed > reclaimed_before
+
+    def test_explicit_batch_bumps_generation_once(self):
+        tree = live_tree()
+        start = tree.generation
+        with tree.batch():
+            for oid, point in enumerate(grid(30)):
+                tree.insert(point, oid)
+        assert tree.generation == start + 1
+
+    def test_empty_batch_does_not_bump(self):
+        tree = live_tree(grid(10))
+        start = tree.generation
+        with tree.batch():
+            pass
+        assert tree.generation == start
+
+    def test_failed_delete_does_not_bump(self):
+        tree = live_tree(grid(10))
+        start = tree.generation
+        assert not tree.delete((999.0, 999.0), 999)
+        assert tree.generation == start
+
+    def test_implicit_single_ops_bump_each(self):
+        tree = live_tree()
+        tree.insert((0.0, 0.0), 0)
+        tree.insert((1.0, 1.0), 1)
+        assert tree.generation == 2
+
+    def test_batch_abort_rolls_back(self):
+        points = grid(80)
+        tree = live_tree(points)
+        committed = tree.committed()
+        nodes_before = tree.node_count()
+        live_before = len(tree.file.store)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tree.batch():
+                for oid, point in enumerate(grid(40, dx=50.0), start=80):
+                    tree.insert(point, oid)
+                raise RuntimeError("boom")
+        assert len(tree) == 80
+        assert tree.committed() == committed
+        assert leaf_points(tree.view()) == {
+            (p, oid) for oid, p in enumerate(points)
+        }
+        # Every page the aborted batch allocated was handed back.
+        assert tree.node_count() == nodes_before
+        assert len(tree.file.store) == live_before
+
+    def test_poisoned_nested_batch_raises_at_commit(self):
+        tree = live_tree(grid(20))
+        with pytest.raises(RuntimeError, match="poisoned"):
+            with tree.batch():
+                try:
+                    with tree.batch():
+                        tree.insert((5.0, 5.0), 777)
+                        raise ValueError("inner failure")
+                except ValueError:
+                    pass  # swallowing does not unpoison the outer batch
+
+    def test_enable_inside_batch_rejected(self):
+        tree = live_tree(grid(5))
+        with pytest.raises(RuntimeError):
+            with tree.batch():
+                tree.enable_live_mutation()
+
+
+class TestConcurrentReaders:
+    def test_queries_during_writes_see_single_generation(self):
+        """Readers racing a writer observe exactly one committed state.
+
+        Writer commits batches of 25 inserts; each reader repeatedly
+        pins, walks every leaf reachable from its pinned root, and
+        checks the haul matches the pinned snapshot's count exactly --
+        a torn read (some new pages, some old) would show up as a
+        count mismatch or an unreadable freed page.
+        """
+        tree = live_tree(grid(100))
+        batches = 12
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            try:
+                for b in range(batches):
+                    base = 100 + b * 25
+                    with tree.batch():
+                        for i in range(25):
+                            x = 200.0 + base + i
+                            tree.insert((x, x * 0.5), base + i)
+            except Exception as exc:  # pragma: no cover
+                failures.append(f"writer: {exc!r}")
+            finally:
+                stop.set()
+
+        def reader(seed):
+            rng = random.Random(seed)
+            try:
+                while not stop.is_set() or rng.random() < 0.2:
+                    snap = tree.pin()
+                    try:
+                        view = tree.view(snap)
+                        seen = leaf_points(view)
+                        if len(seen) != snap.count:
+                            failures.append(
+                                f"gen {snap.generation}: walked "
+                                f"{len(seen)} points, snapshot says "
+                                f"{snap.count}"
+                            )
+                            return
+                    finally:
+                        tree.release(snap)
+                    if stop.is_set():
+                        return
+            except Exception as exc:
+                failures.append(f"reader {seed}: {exc!r}")
+
+        threads = [threading.Thread(target=reader, args=(s,))
+                   for s in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures[:3]
+        assert len(tree) == 100 + batches * 25
+        assert tree.snapshots.pinned() == 0
+        # With no pins left every superseded page drained.
+        assert tree.snapshots.pending_pages() == 0
+
+    def test_cpq_on_pinned_views_is_stable_under_writes(self):
+        """K-CPQ over two pinned views is repeatable while both trees
+        take writes -- same pairs, same distances, same tie order."""
+        tree_p = live_tree(grid(90))
+        tree_q = live_tree(grid(90, dx=0.3, dy=0.3))
+        snap_p, snap_q = tree_p.pin(), tree_q.pin()
+        try:
+            view_p = tree_p.view(snap_p)
+            view_q = tree_q.view(snap_q)
+            request = CPQRequest(k=10, algorithm="heap")
+            baseline = k_closest_pairs(view_p, view_q, request=request)
+            for round_no in range(3):
+                with tree_p.batch():
+                    for i in range(20):
+                        oid = 1000 + round_no * 20 + i
+                        tree_p.insert((0.31 + i * 1e-4, 0.29), oid)
+                with tree_q.batch():
+                    for i in range(20):
+                        oid = 2000 + round_no * 20 + i
+                        tree_q.insert((0.29, 0.31 + i * 1e-4), oid)
+                result = k_closest_pairs(view_p, view_q,
+                                         request=request)
+                assert [
+                    (p.p, p.q, p.distance) for p in result.pairs
+                ] == [
+                    (p.p, p.q, p.distance) for p in baseline.pairs
+                ]
+        finally:
+            tree_p.release(snap_p)
+            tree_q.release(snap_q)
+        # Unpinned live queries *do* see the new near-origin points.
+        fresh = k_closest_pairs(tree_p, tree_q, request=request)
+        assert fresh.pairs[0].distance < baseline.pairs[0].distance

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Markdown link checker for the README and docs/.
+"""Markdown link checker and docstring gate for the docs CI job.
 
 Verifies every relative markdown link -- ``[text](path)``,
 ``[text](path#anchor)`` and bare reference-style definitions -- against
@@ -12,15 +12,24 @@ the working tree:
 
 External links (``http(s)://``, ``mailto:``) are *not* fetched -- CI
 must not depend on the network -- and absolute paths are rejected as
-unportable.  Exits 1 listing every broken link, 0 when clean.
+unportable.
+
+``--docstrings PKG_DIR`` additionally walks the named source trees and
+fails on any module or public class (name not starting with ``_``)
+without a docstring -- the enforcement teeth behind the
+``repro.storage`` docstring pass; see ``docs/STORAGE.md``.
+
+Exits 1 listing every broken link / missing docstring, 0 when clean.
 
 Usage::
 
     python tools/check_docs.py [FILE_OR_DIR ...]   # default: README.md docs/
+    python tools/check_docs.py README.md docs --docstrings src/repro/storage
 """
 
 from __future__ import annotations
 
+import ast
 import os
 import re
 import sys
@@ -106,20 +115,75 @@ def check_file(path: str) -> List[str]:
     return errors
 
 
+def python_files(target: str) -> Iterator[str]:
+    if os.path.isdir(target):
+        for root, __, names in os.walk(target):
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+    elif target.endswith(".py"):
+        yield target
+
+
+def check_docstrings(target: str) -> List[str]:
+    """Missing module / public-class docstrings under ``target``.
+
+    Only modules and public classes are enforced (methods and
+    functions stay a matter of judgement); a public class is any whose
+    name does not start with ``_``.
+    """
+    errors = []
+    for path in python_files(target):
+        with open(path, encoding="utf-8") as handle:
+            try:
+                module = ast.parse(handle.read(), filename=path)
+            except SyntaxError as exc:
+                errors.append(f"{path}: unparseable ({exc})")
+                continue
+        if ast.get_docstring(module) is None:
+            errors.append(f"{path}:1: module has no docstring")
+        for node in ast.walk(module):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                errors.append(f"{path}:{node.lineno}: public class "
+                              f"{node.name!r} has no docstring")
+    return errors
+
+
 def main(argv: List[str]) -> int:
-    targets = argv or ["README.md", "docs"]
+    targets: List[str] = []
+    docstring_targets: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--docstrings":
+            docstring_targets.append(next(it, ""))
+        else:
+            targets.append(arg)
+    targets = targets or ["README.md", "docs"]
     checked = 0
     errors: List[str] = []
     for path in markdown_files(targets):
         checked += 1
         errors.extend(check_file(path))
+    py_checked = 0
+    for target in docstring_targets:
+        if not target:
+            print("check_docs: --docstrings needs a directory",
+                  file=sys.stderr)
+            return 2
+        py_checked += sum(1 for __ in python_files(target))
+        errors.extend(check_docstrings(target))
     if errors:
-        print(f"check_docs: {len(errors)} broken link(s) "
-              f"in {checked} file(s):")
+        print(f"check_docs: {len(errors)} problem(s) in {checked} "
+              f"markdown / {py_checked} python file(s):")
         for error in errors:
             print(f"  {error}")
         return 1
-    print(f"check_docs: {checked} markdown file(s) clean")
+    print(f"check_docs: {checked} markdown file(s) and "
+          f"{py_checked} python file(s) clean")
     return 0
 
 
