@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Repeated-range workload: RCP candidate reuse vs cold clipped runs.
+
+The serving scenario behind the range query family is a map viewport:
+the same (or a contained) window is asked again and again as users pan
+and zoom.  This benchmark runs a window workload twice over SEQUOIA-
+like trees whose page reads carry a simulated disk latency:
+
+* **cold clipped** -- every window answered by the ``clipped``
+  traversal with the candidate index disabled (each run pays the full
+  branch-and-bound walk);
+* **rcp warm** -- the same workload through the ``rcp`` algorithm: the
+  first occurrence of each window computes and stores an extended
+  candidate list, repeats are exact hits and contained sub-windows are
+  containment hits, both answered without touching the trees.
+
+Every rcp answer is asserted byte-identical to the clipped answer for
+its window before any time counts.  The printed table is Markdown
+(paste into ``docs/BENCHMARKS.md``).  Exit status is the CI gate:
+nonzero when the cold-clipped wall clock is less than ``--min-speedup``
+times the rcp wall clock (default 1.5x -- reuse must at least halve
+the repeated-range cost, full-size runs clear far more).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_range.py           # full
+    PYTHONPATH=src python benchmarks/bench_range.py --quick   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.api import CPQRequest, k_closest_pairs
+from repro.core.constraints import RangeSpec
+from repro.datasets import sequoia_like
+from repro.rtree.bulk import bulk_load
+from repro.storage.paged_file import PagedFile
+from repro.storage.store import MemoryPageStore
+
+
+def build_trees(n: int, read_latency: float):
+    """Two SEQUOIA-like point sets on latency-simulated paged files."""
+    trees = []
+    for seed in (2000, 2001):
+        points = sequoia_like(n, seed=seed)
+        file = PagedFile(
+            MemoryPageStore(page_size=1024),
+            buffer_capacity=0,
+            page_size=1024,
+            read_latency=0.0,  # free writes during construction
+        )
+        tree = bulk_load([tuple(p) for p in points], file=file)
+        file.read_latency = read_latency
+        trees.append(tree)
+    return trees
+
+
+def viewport_workload(rounds: int):
+    """Pan-and-zoom window sequence: repeats plus contained zooms.
+
+    Each round visits three base viewports and a zoom-in of each, so
+    from round two onward every window is an exact or containment hit
+    for the candidate index.
+    """
+    bases = (
+        RangeSpec((0.10, 0.10), (0.45, 0.45)),
+        RangeSpec((0.30, 0.40), (0.70, 0.80)),
+        RangeSpec((0.55, 0.20), (0.90, 0.60)),
+    )
+    zooms = (
+        RangeSpec((0.20, 0.20), (0.38, 0.38)),
+        RangeSpec((0.40, 0.50), (0.60, 0.70)),
+        RangeSpec((0.62, 0.30), (0.80, 0.50)),
+    )
+    windows = []
+    for __ in range(rounds):
+        for base, zoom in zip(bases, zooms):
+            windows.append(base)
+            windows.append(zoom)
+    return windows
+
+
+def run_workload(tree_p, tree_q, windows, k: int, algorithm: str):
+    """Answer every window; returns (wall_s, node_pairs, results)."""
+    wall = 0.0
+    node_pairs = 0
+    results = []
+    for window in windows:
+        tree_p.file.reset_for_query()
+        tree_q.file.reset_for_query()
+        request = CPQRequest(k=k, algorithm=algorithm, range=window)
+        start = time.perf_counter()
+        result = k_closest_pairs(tree_p, tree_q, request=request)
+        wall += time.perf_counter() - start
+        node_pairs += result.stats.node_pairs_visited
+        results.append(result)
+    return wall, node_pairs, results
+
+
+def reset_candidate_index(tree_p, tree_q):
+    """Drop any candidate lists memoised for this tree pair."""
+    from repro.query.rcp import index_for
+
+    index_for(tree_p, tree_q).clear()
+
+
+def run(n: int, k: int, read_latency: float, rounds: int) -> dict:
+    tree_p, tree_q = build_trees(n, read_latency)
+    windows = viewport_workload(rounds)
+
+    cold_wall, cold_nodes, cold_results = run_workload(
+        tree_p, tree_q, windows, k, "clipped"
+    )
+    reset_candidate_index(tree_p, tree_q)
+    warm_wall, warm_nodes, warm_results = run_workload(
+        tree_p, tree_q, windows, k, "rcp"
+    )
+
+    for index, (cold, warm) in enumerate(
+            zip(cold_results, warm_results)):
+        if cold.pairs != warm.pairs:
+            raise AssertionError(
+                f"window {index}: rcp answer differs from clipped -- "
+                f"the reuse soundness invariant is broken"
+            )
+    rcp_stats = warm_results[-1].stats.extra["rcp"]
+    return {
+        "queries": len(windows),
+        "clipped_cold": {"wall_s": cold_wall,
+                         "node_pairs": cold_nodes},
+        "rcp_warm": {
+            "wall_s": warm_wall,
+            "node_pairs": warm_nodes,
+            "exact_hits": rcp_stats["hits"],
+            "containment_hits": rcp_stats["containment_hits"],
+            "misses": rcp_stats["misses"],
+        },
+        "speedup": cold_wall / warm_wall,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repeated-range viewport workload: RCP candidate "
+                    "reuse vs cold clipped traversals",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller dataset and fewer rounds (CI)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="points per tree (default 30000, quick 6000)")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="workload rounds (default 8, quick 4)")
+    parser.add_argument("--read-latency-us", type=float, default=100.0,
+                        help="simulated page-read latency, microseconds")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail (exit 1) when cold-clipped wall is "
+                             "under this multiple of rcp wall")
+    parser.add_argument("--json", default=None,
+                        help="also write the numbers as JSON here")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (6_000 if args.quick else 30_000)
+    rounds = args.rounds if args.rounds is not None else (
+        4 if args.quick else 8
+    )
+    latency = args.read_latency_us / 1e6
+
+    stats = run(n, args.k, latency, rounds)
+
+    print(f"range query family: sequoia-like n={n} per tree, "
+          f"k={args.k}, {stats['queries']} windowed queries "
+          f"({rounds} viewport rounds), read latency "
+          f"{args.read_latency_us:g}us")
+    print()
+    print("| strategy | wall (ms) | node pairs | reuse |")
+    print("|----------|----------:|-----------:|-------|")
+    cold = stats["clipped_cold"]
+    warm = stats["rcp_warm"]
+    print(f"| clipped (cold each query) | {cold['wall_s'] * 1e3:.1f} "
+          f"| {cold['node_pairs']} | - |")
+    print(f"| rcp (candidate reuse) | {warm['wall_s'] * 1e3:.1f} "
+          f"| {warm['node_pairs']} "
+          f"| {warm['exact_hits']} exact + "
+          f"{warm['containment_hits']} containment |")
+    print()
+    print(f"speedup: {stats['speedup']:.2f}x")
+
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w") as handle:
+            json.dump(stats, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if stats["speedup"] < args.min_speedup:
+        print(f"FAIL: candidate reuse speedup {stats['speedup']:.2f}x "
+              f"< {args.min_speedup:g}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.datasets import (
     UNIT_WORKSPACE,
     overlapping_workspace,
@@ -62,8 +62,13 @@ def test_ablation_maxmax_k_pruning(benchmark, point_sets):
             for k in (10, 100, 1000):
                 for pruning in (True, False):
                     result = k_closest_pairs(
-                        tree_p, tree_q, k=k, algorithm=algorithm,
-                        maxmax_pruning=pruning,
+                        tree_p,
+                        tree_q,
+                        request=CPQRequest(
+                            k=k,
+                            algorithm=algorithm,
+                            maxmax_pruning=pruning,
+                        ),
                     )
                     table.add(
                         algorithm.upper(), k,
@@ -119,7 +124,9 @@ def test_ablation_tree_construction(benchmark, point_sets):
         for build, (tree_p, tree_q) in trees.items():
             for algorithm in ("std", "heap"):
                 result = k_closest_pairs(
-                    tree_p, tree_q, k=100, algorithm=algorithm
+                    tree_p,
+                    tree_q,
+                    request=CPQRequest(k=100, algorithm=algorithm),
                 )
                 table.add(
                     build, tree_p.node_count(), algorithm.upper(),
@@ -156,7 +163,9 @@ def test_ablation_split_policy(benchmark):
                 tree_q.insert(point, oid)
             for algorithm in ("std", "heap"):
                 result = k_closest_pairs(
-                    tree_p, tree_q, k=100, algorithm=algorithm
+                    tree_p,
+                    tree_q,
+                    request=CPQRequest(k=100, algorithm=algorithm),
                 )
                 table.add(
                     variant, tree_p.node_count(), algorithm.upper(),
@@ -189,8 +198,13 @@ def test_ablation_buffer_policy(benchmark, point_sets):
                 buffer_capacity=16, buffer_policy=policy))
             for algorithm in ("exh", "std"):
                 result = k_closest_pairs(
-                    tree_p, tree_q, k=100, algorithm=algorithm,
-                    reset_stats=True,
+                    tree_p,
+                    tree_q,
+                    request=CPQRequest(
+                        k=100,
+                        algorithm=algorithm,
+                        reset_stats=True,
+                    ),
                 )
                 table.add(
                     policy.upper(), algorithm.upper(),

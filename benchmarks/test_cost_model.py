@@ -12,7 +12,7 @@ from repro.analysis import (
     estimate_closest_pair_distance,
     estimate_cpq_accesses,
 )
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.datasets import (
     UNIT_WORKSPACE,
     overlapping_workspace,
@@ -49,7 +49,9 @@ def test_cost_model_vs_measurement(benchmark):
             t = estimate_closest_pair_distance(shape_p, shape_q)
             predicted = estimate_cpq_accesses(shape_p, shape_q, t)
             measured = k_closest_pairs(
-                tree_p, tree_q, k=1, algorithm="heap"
+                tree_p,
+                tree_q,
+                request=CPQRequest(k=1, algorithm="heap"),
             ).stats.disk_accesses
             table.add(
                 round(overlap * 100),

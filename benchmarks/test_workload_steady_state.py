@@ -11,7 +11,7 @@ and the effect grows with the buffer.
 
 import pytest
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.datasets import UNIT_WORKSPACE, Workspace, uniform_points
 from repro.experiments.report import Table
 from repro.rtree.bulk import bulk_load
@@ -61,8 +61,13 @@ def test_steady_state_workload(benchmark):
                     # plus Q's (freshly reset) counter.
                     before_p = tree_p.stats.disk_reads
                     k_closest_pairs(
-                        tree_p, tree_q, k=10, algorithm="std",
-                        reset_stats=False,
+                        tree_p,
+                        tree_q,
+                        request=CPQRequest(
+                            k=10,
+                            algorithm="std",
+                            reset_stats=False,
+                        ),
                     )
                     total += (
                         tree_p.stats.disk_reads - before_p

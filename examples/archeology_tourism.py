@@ -13,7 +13,7 @@ import sys
 
 import numpy as np
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.datasets import sequoia_like
 from repro.rtree.bulk import bulk_load
 
@@ -39,7 +39,9 @@ def main() -> None:
           f"{len(tree_resorts)} holiday resorts")
 
     result = k_closest_pairs(
-        tree_sites, tree_resorts, k=k, algorithm="heap"
+        tree_sites,
+        tree_resorts,
+        request=CPQRequest(k=k, algorithm="heap"),
     )
     print(f"\nTop {k} site/resort pairs (HEAP algorithm, "
           f"{result.stats.disk_accesses} disk accesses):\n")
@@ -57,7 +59,9 @@ def main() -> None:
     print("\nCost of larger campaigns:")
     for budget_k in (1, 10, 100, 1000):
         r = k_closest_pairs(
-            tree_sites, tree_resorts, k=budget_k, algorithm="heap"
+            tree_sites,
+            tree_resorts,
+            request=CPQRequest(k=budget_k, algorithm="heap"),
         )
         print(f"  K = {budget_k:5d}: {r.stats.disk_accesses:6d} disk "
               f"accesses, worst distance {r.max_distance:.5f}")

@@ -10,7 +10,7 @@ than the HEAP algorithm's (paper Section 3.9).
 Run:  python examples/incremental_stream.py
 """
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.datasets import uniform_points
 from repro.incremental import incremental_distance_join
 from repro.rtree.bulk import bulk_load
@@ -47,7 +47,11 @@ def main() -> None:
     # --- the non-incremental HEAP algorithm needs K up front, but its
     #     queue stays tiny (the paper's core argument)
     k = max(1, len(pairs))
-    result = k_closest_pairs(tree_p, tree_q, k=k, algorithm="heap")
+    result = k_closest_pairs(
+        tree_p,
+        tree_q,
+        request=CPQRequest(k=k, algorithm="heap"),
+    )
     print(f"\nHEAP algorithm for the same K = {k}:")
     print(f"  disk accesses: {result.stats.disk_accesses}")
     print(f"  max queue size: {result.stats.max_queue_size}")

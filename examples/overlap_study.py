@@ -8,7 +8,7 @@ version of the paper's Figure 5.
 Run:  python examples/overlap_study.py
 """
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.datasets import UNIT_WORKSPACE, overlapping_workspace, uniform_points
 from repro.rtree.bulk import bulk_load
 
@@ -31,7 +31,9 @@ def main() -> None:
         costs = []
         for algorithm in ALGORITHMS:
             result = k_closest_pairs(
-                tree_p, tree_q, k=1, algorithm=algorithm
+                tree_p,
+                tree_q,
+                request=CPQRequest(k=1, algorithm=algorithm),
             )
             costs.append(result.stats.disk_accesses)
         row = f"{overlap:7.0%}   " + "".join(f"{c:9d}" for c in costs)

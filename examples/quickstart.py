@@ -3,7 +3,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro.core import closest_pair, k_closest_pairs
+from repro.core import CPQRequest, closest_pair, k_closest_pairs
 from repro.datasets import uniform_points
 from repro.geometry import MBR, maxmaxdist, minmaxdist, minmindist
 from repro.rtree.bulk import bulk_load
@@ -43,7 +43,11 @@ def main() -> None:
     print("K = 10 closest pairs, all five algorithms (B = 0):")
     print(f"  {'algorithm':10s} {'disk accesses':>14s} {'10th distance':>14s}")
     for algorithm in ("naive", "exh", "sim", "std", "heap"):
-        result = k_closest_pairs(tree_p, tree_q, k=10, algorithm=algorithm)
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=10, algorithm=algorithm),
+        )
         print(f"  {algorithm.upper():10s} "
               f"{result.stats.disk_accesses:14d} "
               f"{result.max_distance:14.6f}")

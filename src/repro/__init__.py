@@ -10,14 +10,15 @@ inventory.
 
 Most applications only need::
 
-    from repro import bulk_load, k_closest_pairs
+    from repro import CPQRequest, bulk_load, k_closest_pairs
 
     tree_p = bulk_load(points_p)
     tree_q = bulk_load(points_q)
-    result = k_closest_pairs(tree_p, tree_q, k=10)
+    result = k_closest_pairs(tree_p, tree_q, CPQRequest(k=10))
 """
 
-from repro.core.api import closest_pair, k_closest_pairs
+from repro.core.api import CPQRequest, closest_pair, k_closest_pairs
+from repro.core.constraints import ColorSpec, RangeSpec
 from repro.core.result import ClosestPair, CPQResult
 from repro.rtree.bulk import bulk_load
 from repro.rtree.tree import RTree, RTreeConfig
@@ -27,6 +28,9 @@ __version__ = "1.0.0"
 __all__ = [
     "k_closest_pairs",
     "closest_pair",
+    "CPQRequest",
+    "RangeSpec",
+    "ColorSpec",
     "ClosestPair",
     "CPQResult",
     "RTree",

@@ -370,6 +370,41 @@ def estimate_cpq_accesses(
     return total
 
 
+def estimate_range_selectivity(shape: TreeShape, range_spec) -> float:
+    """Fraction of a tree's workspace a query window covers.
+
+    Under the model's uniformity assumption this is also the fraction
+    of the tree's points that satisfy the window -- the *selectivity*
+    of a range-constrained CPQ on that side.  The window is clipped to
+    the workspace first (the part outside holds no points), so the
+    result is always in ``[0, 1]``.
+
+    Parameters
+    ----------
+    shape:
+        The tree's cost-model shape; only its workspace is used.
+    range_spec:
+        A :class:`repro.core.constraints.RangeSpec` (or anything with
+        2-d ``lo`` / ``hi`` corner tuples).
+
+    Returns
+    -------
+    float
+        Covered workspace fraction; the service planner routes low
+        values to the RCP candidate structure and the rest to the
+        CLIPPED traversal.
+    """
+    ws = shape.workspace
+    lo, hi = range_spec.lo, range_spec.hi
+    if len(lo) != 2:
+        return 1.0  # the cost model is 2-d; do not pretend otherwise
+    ox = min(ws.xmax, hi[0]) - max(ws.xmin, lo[0])
+    oy = min(ws.ymax, hi[1]) - max(ws.ymin, lo[1])
+    if ox <= 0.0 or oy <= 0.0 or ws.area <= 0.0:
+        return 0.0
+    return min(1.0, (ox * oy) / ws.area)
+
+
 def estimate_parallel_speedup(
     accesses: float,
     workers: int,

@@ -230,17 +230,100 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code for a request that names an algorithm lacking a required
+#: capability (range/colored queries on an incapable traversal).
+#: Distinct from 1 (runtime failure) and 2 (bad invocation) so scripts
+#: can tell "pick another algorithm" from "something broke".
+EXIT_UNSUPPORTED_CAPABILITY = 3
+
+
+def _parse_range_arg(text: Optional[str], mode: str):
+    """Parse ``--range "xmin,ymin,xmax,ymax"`` into a RangeSpec.
+
+    Accepts any even number of comma-separated floats: the first half
+    is the low corner, the second half the high corner (corners are
+    sorted by the spec itself, so reversed windows are fine).
+    """
+    if text is None:
+        return None
+    from repro.core.constraints import RangeSpec
+
+    values = [float(part) for part in text.split(",") if part.strip()]
+    if len(values) < 2 or len(values) % 2 != 0:
+        raise ValueError(
+            f"--range wants an even number of coordinates "
+            f"(lo corner then hi corner), got {len(values)}"
+        )
+    half = len(values) // 2
+    return RangeSpec(lo=tuple(values[:half]), hi=tuple(values[half:]),
+                     mode=mode)
+
+
+def _parse_colors_arg(text: Optional[str], distinct: bool):
+    """Parse ``--colors "MOD[:P_RESIDUES[:Q_RESIDUES]]"``.
+
+    Examples: ``--colors 4`` (4 categories, no residue filter),
+    ``--colors 4:1,3`` (P restricted to categories 1 and 3),
+    ``--colors 4:1,3:0,2`` (both sides restricted).  An empty residue
+    list (``4::0,2``) leaves that side unrestricted.
+    """
+    if text is None:
+        if distinct:
+            raise ValueError("--distinct requires --colors")
+        return None
+    from repro.core.constraints import ColorSpec
+
+    parts = text.split(":")
+    if len(parts) > 3:
+        raise ValueError(
+            f"--colors wants MOD[:P_RESIDUES[:Q_RESIDUES]], got {text!r}"
+        )
+
+    def residues(field: Optional[str]):
+        if field is None or not field.strip():
+            return None
+        return tuple(int(x) for x in field.split(",") if x.strip())
+
+    return ColorSpec(
+        modulus=int(parts[0]),
+        colors_p=residues(parts[1] if len(parts) > 1 else None),
+        colors_q=residues(parts[2] if len(parts) > 2 else None),
+        distinct=distinct,
+    )
+
+
+def _constraints_from_args(args: argparse.Namespace):
+    """Build (RangeSpec | None, ColorSpec | None) from CLI flags."""
+    range_spec = _parse_range_arg(getattr(args, "range", None),
+                                  getattr(args, "range_mode", "both"))
+    color_spec = _parse_colors_arg(getattr(args, "colors", None),
+                                   getattr(args, "distinct", False))
+    return range_spec, color_spec
+
+
 def cmd_query(args: argparse.Namespace) -> int:
+    from repro.errors import UnsupportedCapabilityError
+
     tree_p = _load_tree(args.left, use_mmap=args.mmap)
     tree_q = _load_tree(args.right, use_mmap=args.mmap)
-    request = CPQRequest(
-        k=args.k,
-        algorithm=args.algorithm,
-        buffer_pages=args.buffer,
-        use_vectorized=not args.scalar,
-        workers=args.workers,
-    )
-    result = k_closest_pairs(tree_p, tree_q, request=request)
+    try:
+        range_spec, color_spec = _constraints_from_args(args)
+        request = CPQRequest(
+            k=args.k,
+            algorithm=args.algorithm,
+            buffer_pages=args.buffer,
+            use_vectorized=not args.scalar,
+            workers=args.workers,
+            range=range_spec,
+            colors=color_spec,
+        )
+        result = k_closest_pairs(tree_p, tree_q, request=request)
+    except UnsupportedCapabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNSUPPORTED_CAPABILITY
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for rank, pair in enumerate(result.pairs, start=1):
         print(f"{rank:4d}  {pair.p}  {pair.q}  {pair.distance:.9f}")
     print(
@@ -248,6 +331,13 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"accesses, {result.stats.node_pairs_visited} node pairs, "
         f"{result.stats.distance_computations} distance computations"
     )
+    if range_spec is not None or color_spec is not None:
+        print(f"# constraints: range={range_spec} colors={color_spec}")
+    rcp = result.stats.extra.get("rcp")
+    if rcp:
+        print(f"# rcp: source={rcp['source']} "
+              f"windows={rcp['stored_windows']} hits={rcp['hits']} "
+              f"containment={rcp['containment_hits']}")
     parallel = result.stats.extra.get("parallel")
     if parallel:
         print(
@@ -268,35 +358,48 @@ def cmd_explain(args: argparse.Namespace) -> int:
     the cost-model planner and shows its evidence.
     """
     from repro.analysis.cost_model import TreeShape
+    from repro.errors import UnsupportedCapabilityError
     from repro.obs import Tracer, render_trace, write_trace_jsonl
     from repro.service.planner import Planner
 
     tree_p = _load_tree(args.left)
     tree_q = _load_tree(args.right)
+    try:
+        range_spec, color_spec = _constraints_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     tracer = Tracer()
-    with tracer.span("request", kind="cpq", k=args.k) as root:
-        algorithm = args.algorithm
-        if algorithm == "auto":
-            def shape(tree):
-                if tree.root_id is None or tree.dimension != 2:
-                    return None
-                return TreeShape.from_tree(tree)
+    try:
+        with tracer.span("request", kind="cpq", k=args.k) as root:
+            algorithm = args.algorithm
+            if algorithm == "auto":
+                def shape(tree):
+                    if tree.root_id is None or tree.dimension != 2:
+                        return None
+                    return TreeShape.from_tree(tree)
 
-            decision = Planner().plan(
-                shape(tree_p), shape(tree_q), args.buffer, k=args.k,
+                decision = Planner().plan(
+                    shape(tree_p), shape(tree_q), args.buffer, k=args.k,
+                    tracer=tracer, range_spec=range_spec,
+                )
+                algorithm = decision.algorithm
+            result = k_closest_pairs(
+                tree_p,
+                tree_q,
+                request=CPQRequest(
+                    k=args.k, algorithm=algorithm,
+                    buffer_pages=args.buffer,
+                    workers=args.workers,
+                    range=range_spec, colors=color_spec,
+                ),
                 tracer=tracer,
             )
-            algorithm = decision.algorithm
-        result = k_closest_pairs(
-            tree_p,
-            tree_q,
-            request=CPQRequest(
-                k=args.k, algorithm=algorithm, buffer_pages=args.buffer,
-                workers=args.workers,
-            ),
-            tracer=tracer,
-        )
-        root.annotate(algorithm=result.algorithm, pairs=len(result.pairs))
+            root.annotate(algorithm=result.algorithm,
+                          pairs=len(result.pairs))
+    except UnsupportedCapabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNSUPPORTED_CAPABILITY
     trace = tracer.pop_traces()[-1]
     for rank, pair in enumerate(result.pairs, start=1):
         print(f"{rank:4d}  {pair.p}  {pair.q}  {pair.distance:.9f}")
@@ -369,12 +472,25 @@ def _parse_service_request(obj: dict, default_pair: str = "default"):
         "use_cache": bool(obj.get("use_cache", True)),
     }
     if op == "cpq":
+        range_obj = obj.get("range")
+        if isinstance(range_obj, dict):
+            from repro.core.constraints import RangeSpec
+
+            range_obj = RangeSpec(
+                lo=tuple(range_obj["lo"]), hi=tuple(range_obj["hi"]),
+                mode=range_obj.get("mode", "both"),
+            )
+        elif range_obj is not None:
+            # [[lo...], [hi...]] shorthand; the request normalises it.
+            range_obj = (tuple(range_obj[0]), tuple(range_obj[1]))
         return CPQRequest(
             k=int(obj.get("k", 1)),
             algorithm=obj.get("algorithm", "auto"),
             tie_break=obj.get("tie_break"),
             maxmax_pruning=bool(obj.get("maxmax_pruning", True)),
             use_vectorized=bool(obj.get("use_vectorized", True)),
+            range=range_obj,
+            colors=obj.get("colors"),
             **common,
         )
     if op == "knn":
@@ -765,6 +881,31 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_constraint_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the range/colored query-family flags to a subcommand."""
+    parser.add_argument(
+        "--range", default=None, metavar="LO...,HI...",
+        help="restrict qualifying points to a window, e.g. "
+             "'0.1,0.2,0.6,0.7' (xmin,ymin,xmax,ymax); requires a "
+             "range-capable algorithm",
+    )
+    parser.add_argument(
+        "--range-mode", choices=("both", "p", "q"), default="both",
+        help="which side(s) the window constrains (default: both)",
+    )
+    parser.add_argument(
+        "--colors", default=None, metavar="MOD[:P[:Q]]",
+        help="colored query: category = oid %% MOD, optionally "
+             "restricting each side's categories, e.g. '4:1,3:0,2'; "
+             "requires a color-capable algorithm",
+    )
+    parser.add_argument(
+        "--distinct", action="store_true",
+        help="with --colors: only pairs whose two points are in "
+             "different categories qualify",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cpq",
@@ -864,6 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "executor); results are byte-identical")
     query.add_argument("--mmap", action="store_true",
                        help="read .pages inputs through the mmap path")
+    _add_constraint_flags(query)
     query.set_defaults(func=cmd_query)
 
     explain = sub.add_parser(
@@ -886,6 +1028,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--workers", type=int, default=1,
                          help="intra-query worker threads; the trace "
                               "gains per-worker summary spans")
+    _add_constraint_flags(explain)
     explain.set_defaults(func=cmd_explain)
 
     knn = sub.add_parser("knn", help="k nearest neighbours of a point")

@@ -20,14 +20,17 @@ point sets (Section 3 of the paper):
 from repro.core.api import (
     ALGORITHM_REGISTRY,
     ALGORITHMS,
+    COLOR_ALGORITHMS,
     CORE_ALGORITHMS,
     PLANNABLE_ALGORITHMS,
+    RANGE_ALGORITHMS,
     AlgorithmSpec,
     CPQRequest,
     DeadlineExceeded,
     closest_pair,
     k_closest_pairs,
 )
+from repro.core.constraints import ColorSpec, RangeSpec
 from repro.core.height import FIX_AT_LEAVES, FIX_AT_ROOT
 from repro.core.kheap import KHeap
 from repro.core.parallel import parallel_k_closest_pairs
@@ -44,6 +47,10 @@ __all__ = [
     "ALGORITHMS",
     "CORE_ALGORITHMS",
     "PLANNABLE_ALGORITHMS",
+    "RANGE_ALGORITHMS",
+    "COLOR_ALGORITHMS",
+    "RangeSpec",
+    "ColorSpec",
     "DeadlineExceeded",
     "ClosestPair",
     "CPQResult",

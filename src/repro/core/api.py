@@ -7,11 +7,20 @@ of re-plumbing nine keyword arguments.  :data:`ALGORITHM_REGISTRY` is
 the single source of truth for the available algorithms and their
 capability flags.
 
-:func:`k_closest_pairs` runs any of the five algorithms on two R-trees
+:func:`k_closest_pairs` runs any registered algorithm on two R-trees
 and returns a :class:`~repro.core.result.CPQResult` carrying the K
-pairs and the cost statistics.  The classic keyword signature still
-works and is a thin shim that builds a :class:`CPQRequest`.
-:func:`closest_pair` is the 1-CPQ convenience wrapper.
+pairs and the cost statistics.  The request object is the only way to
+describe a query -- the historical keyword shim (deprecated since the
+parallel-executor release) is gone; see ``docs/API.md`` for the
+changelog note.  :func:`closest_pair` is the 1-CPQ convenience
+wrapper.
+
+Range-constrained and colored queries attach a
+:class:`~repro.core.constraints.RangeSpec` /
+:class:`~repro.core.constraints.ColorSpec` to the request; algorithms
+whose registry entry sets ``supports_range`` / ``supports_colors``
+honour them, and requesting a constraint on any other algorithm raises
+:class:`~repro.errors.UnsupportedCapabilityError` at construction.
 
 Example
 -------
@@ -29,12 +38,16 @@ Example
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.core.constraints import ColorSpec, RangeSpec
 from repro.core.engine import CPQContext, traced_traversal
-from repro.errors import DeadlineExceeded, PageCorruptionError
+from repro.errors import (
+    DeadlineExceeded,
+    PageCorruptionError,
+    UnsupportedCapabilityError,
+)
 from repro.core.exhaustive import exhaustive
 from repro.core.heap import heap_algorithm
 from repro.core.height import FIX_AT_ROOT, validate_strategy
@@ -73,7 +86,12 @@ class AlgorithmSpec:
     registered as not plannable).
 
     ``supports_parallel`` marks algorithms the partitioned executor
-    (:mod:`repro.core.parallel`) can run with ``workers > 1``.  The
+    (:mod:`repro.core.parallel`) can run with ``workers > 1``.
+    ``supports_range`` / ``supports_colors`` mark algorithms that
+    honour a request's :class:`~repro.core.constraints.RangeSpec` /
+    :class:`~repro.core.constraints.ColorSpec`; request validation
+    *enforces* these flags (an incapable combination raises
+    :class:`~repro.errors.UnsupportedCapabilityError`).  The
     query-shape flags describe the extension families of Section 6:
     ``self_join`` (P = Q, pass the same tree as both sides), ``semi``
     (all-nearest-neighbour join; reports one pair per P point and
@@ -90,6 +108,13 @@ class AlgorithmSpec:
     supports_vectorized: bool = True
     plannable: bool = True
     supports_parallel: bool = False
+    supports_range: bool = False
+    supports_colors: bool = False
+    #: A constrained-query specialisation of a core traversal (clipped
+    #: pruning, candidate structures); excluded from
+    #: :data:`CORE_ALGORITHMS` so the paper's five-algorithm suites
+    #: keep their shape.
+    specialized: bool = False
     self_join: bool = False
     semi: bool = False
     multiway: bool = False
@@ -134,6 +159,24 @@ def _run_heap(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
         request.maxmax_pruning,
         request.use_vectorized,
     )
+
+
+def _run_clipped(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    result = heap_algorithm(
+        ctx,
+        request.height_strategy,
+        request.tie_break,
+        request.maxmax_pruning,
+        request.use_vectorized,
+        clip_mindist=True,
+    )
+    return replace(result, algorithm="CLIPPED")
+
+
+def _run_rcp(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
+    from repro.query.rcp import rcp_k_closest_pairs
+
+    return rcp_k_closest_pairs(ctx, request)
 
 
 def _run_self(ctx: CPQContext, request: "CPQRequest") -> CPQResult:
@@ -216,6 +259,8 @@ ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
             description="recursive, no pruning (ground truth baseline)",
             plannable=False,
             supports_parallel=True,
+            supports_range=True,
+            supports_colors=True,
             runner=_run_naive,
         ),
         AlgorithmSpec(
@@ -223,6 +268,8 @@ ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
             label="EXH",
             description="prunes by MINMINDIST against T (Section 3.2)",
             supports_parallel=True,
+            supports_range=True,
+            supports_colors=True,
             runner=_run_exh,
         ),
         AlgorithmSpec(
@@ -230,6 +277,8 @@ ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
             label="SIM",
             description="EXH + early T from MINMAXDIST (Section 3.3)",
             supports_parallel=True,
+            supports_range=True,
+            supports_colors=True,
             runner=_run_sim,
         ),
         AlgorithmSpec(
@@ -237,6 +286,8 @@ ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
             label="STD",
             description="SIM + ascending MINMINDIST order (Section 3.4)",
             supports_parallel=True,
+            supports_range=True,
+            supports_colors=True,
             runner=_run_std,
         ),
         AlgorithmSpec(
@@ -244,7 +295,33 @@ ALGORITHM_REGISTRY: Dict[str, AlgorithmSpec] = {
             label="HEAP",
             description="global min-heap instead of recursion (Section 3.5)",
             supports_parallel=True,
+            supports_range=True,
+            supports_colors=True,
             runner=_run_heap,
+        ),
+        AlgorithmSpec(
+            name="clipped",
+            label="CLIPPED",
+            description="HEAP with MINMINDIST evaluated on range-clipped "
+                        "MBRs (tighter pruning inside a window)",
+            plannable=False,
+            supports_parallel=True,
+            supports_range=True,
+            supports_colors=True,
+            specialized=True,
+            runner=_run_clipped,
+        ),
+        AlgorithmSpec(
+            name="rcp",
+            label="RCP",
+            description="precomputed-candidate structure for repeated "
+                        "ranges (RCP literature); exact, memoised per "
+                        "canonical window",
+            plannable=False,
+            supports_range=True,
+            supports_colors=True,
+            specialized=True,
+            runner=_run_rcp,
         ),
         AlgorithmSpec(
             name="self",
@@ -305,12 +382,23 @@ ALGORITHMS: Tuple[str, ...] = tuple(ALGORITHM_REGISTRY)
 CORE_ALGORITHMS: Tuple[str, ...] = tuple(
     name
     for name, spec in ALGORITHM_REGISTRY.items()
-    if not (spec.self_join or spec.semi or spec.multiway or spec.incremental)
+    if not (spec.specialized or spec.self_join or spec.semi
+            or spec.multiway or spec.incremental)
 )
 
 #: Names the cost-model planner may choose between.
 PLANNABLE_ALGORITHMS: Tuple[str, ...] = tuple(
     name for name, spec in ALGORITHM_REGISTRY.items() if spec.plannable
+)
+
+#: Algorithms that honour a request's range window / color predicates;
+#: request validation enforces membership.
+RANGE_ALGORITHMS: Tuple[str, ...] = tuple(
+    name for name, spec in ALGORITHM_REGISTRY.items() if spec.supports_range
+)
+
+COLOR_ALGORITHMS: Tuple[str, ...] = tuple(
+    name for name, spec in ALGORITHM_REGISTRY.items() if spec.supports_colors
 )
 
 
@@ -340,6 +428,15 @@ class CPQRequest:
     which requires file-backed trees).  These are execution-only knobs
     -- the result is byte-identical to serial -- so they are excluded
     from :meth:`cache_key`.
+
+    ``range`` restricts reported pairs to a window
+    (:class:`~repro.core.constraints.RangeSpec`; a bare ``(lo, hi)``
+    tuple is accepted and normalised) and ``colors`` to category
+    combinations (:class:`~repro.core.constraints.ColorSpec`; a bare
+    int is taken as the modulus of a distinct-colored query).  Both
+    require the algorithm's registry entry to declare the matching
+    capability flag, enforced here with
+    :class:`~repro.errors.UnsupportedCapabilityError`.
     """
 
     k: int = 1
@@ -356,6 +453,8 @@ class CPQRequest:
     workers: int = 1
     partition_depth: int = 1
     parallel_mode: str = "thread"
+    range: Optional[RangeSpec] = None
+    colors: Optional[ColorSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithm", str(self.algorithm).lower())
@@ -363,6 +462,25 @@ class CPQRequest:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; "
                 f"expected one of {ALGORITHMS}"
+            )
+        if self.range is not None and not isinstance(self.range, RangeSpec):
+            lo, hi = self.range
+            object.__setattr__(self, "range", RangeSpec(tuple(lo), tuple(hi)))
+        if self.colors is not None and not isinstance(self.colors, ColorSpec):
+            if isinstance(self.colors, dict):
+                object.__setattr__(self, "colors", ColorSpec(**self.colors))
+            else:
+                object.__setattr__(
+                    self, "colors", ColorSpec(modulus=int(self.colors))
+                )
+        spec = ALGORITHM_REGISTRY[self.algorithm]
+        if self.range is not None and not spec.supports_range:
+            raise UnsupportedCapabilityError(
+                self.algorithm, "range", RANGE_ALGORITHMS
+            )
+        if self.colors is not None and not spec.supports_colors:
+            raise UnsupportedCapabilityError(
+                self.algorithm, "colors", COLOR_ALGORITHMS
             )
         if self.k < 1:
             raise ValueError("k must be >= 1")
@@ -399,7 +517,10 @@ class CPQRequest:
         execution knobs ``workers`` / ``partition_depth`` /
         ``parallel_mode``) are excluded; ``use_vectorized`` is excluded
         too because the scalar path is bit-identical by construction
-        (and tested to be).
+        (and tested to be).  Constraints contribute their *canonical*
+        forms -- corners sorted and floats normalised at construction
+        -- so a window given as ``(hi, lo)`` hits the cache entry of
+        the same window given as ``(lo, hi)``.
         """
         return (
             self.k,
@@ -408,6 +529,8 @@ class CPQRequest:
             self.height_strategy,
             repr(self.tie_break) if self.tie_break is not None else None,
             self.maxmax_pruning,
+            self.range.canonical() if self.range is not None else None,
+            self.colors.canonical() if self.colors is not None else None,
         )
 
 
@@ -430,19 +553,8 @@ def _deadline_probe(deadline_ms: float) -> Callable[[], None]:
 def k_closest_pairs(
     tree_p: RTree,
     tree_q: RTree,
-    k: int = 1,
-    algorithm: str = "heap",
-    *,
     request: Optional[CPQRequest] = None,
-    metric: MinkowskiMetric = EUCLIDEAN,
-    height_strategy: str = FIX_AT_ROOT,
-    tie_break: Optional[TieBreak] = None,
-    buffer_pages: Optional[int] = None,
-    reset_stats: bool = True,
-    maxmax_pruning: bool = True,
-    use_vectorized: bool = True,
-    deadline_ms: Optional[float] = None,
-    trace: bool = False,
+    *,
     cancel_check: Optional[Callable[[], None]] = None,
     tracer=None,
 ) -> CPQResult:
@@ -454,56 +566,22 @@ def k_closest_pairs(
         The two indexed point sets (coordinates in workspace units;
         distances in the result are in the same units).
     request:
-        A prepared :class:`CPQRequest`.  When given it is authoritative
-        and the individual query keywords below are ignored; when
-        omitted, one is built from them (the classic signature).
-    k:
-        Number of pairs to report (``1`` gives the 1-CPQ special case
-        with its stronger MINMAXDIST pruning).
-    algorithm:
-        A key of :data:`ALGORITHM_REGISTRY` (``"naive"``, ``"exh"``,
-        ``"sim"``, ``"std"``, ``"heap"``).
-    metric:
-        Minkowski metric; Euclidean by default.
-    height_strategy:
-        ``"fix-at-root"`` (paper's recommendation) or
-        ``"fix-at-leaves"`` for trees of different heights.
-    tie_break:
-        MINMINDIST tie-break chain for STD/HEAP (anything accepted by
-        :meth:`TieBreak.parse`); default T1.
-    buffer_pages:
-        Total LRU buffer size B; each tree receives B // 2 pages
-        (Section 4.3.3).  ``None`` leaves the trees' buffers as-is.
-    reset_stats:
-        Reset I/O counters and cold-start the buffers before running,
-        so the result's statistics describe exactly this query.
-    maxmax_pruning:
-        For K > 1 with SIM/STD/HEAP: use the MAXMAXDIST accumulation
-        bound of Section 3.8 (the paper's implemented variant); off
-        falls back to the plain K-heap-threshold modification.
-    use_vectorized:
-        Evaluate node expansions and leaf scans through the NumPy
-        pairwise kernels (default).  The scalar path computes the same
-        values entry-by-entry and exists for parity testing.
-    deadline_ms:
-        Abort with :class:`DeadlineExceeded` once this many
-        milliseconds have elapsed (checked between node-pair visits).
-        Ignored when ``cancel_check`` is supplied -- the caller's probe
-        wins.
-    trace:
-        Record this query with a private tracer and attach the finished
-        span tree as ``result.trace``.  Ignored when ``tracer`` is
-        supplied -- the caller owns span collection then.
+        The :class:`CPQRequest` describing *what* to compute -- k,
+        algorithm, metric, constraints, every query knob.  ``None``
+        runs the default request (1-CPQ via HEAP).  The historical
+        keyword signature was removed after a deprecation cycle; build
+        a request instead (see ``docs/API.md``).
     cancel_check:
         Cooperative-cancellation probe, called once per visited node
         pair; whatever it raises (a deadline, a shutdown signal)
         propagates out of the traversal.  Used by the query service.
+        Beats ``request.deadline_ms`` when both are given.
     tracer:
         A :class:`repro.obs.Tracer` to record this query as a span
         tree (``traverse`` with ``io.p``/``io.q`` I/O-delta leaves and,
         for HEAP, a ``heap`` queue span); ``None`` (the default)
         installs the no-op tracer and leaves the hot path untouched.
-        See ``docs/OBSERVABILITY.md``.
+        Beats ``request.trace``.  See ``docs/OBSERVABILITY.md``.
 
     Returns
     -------
@@ -515,26 +593,7 @@ def k_closest_pairs(
         ``max_queue_size`` and ``queue_inserts`` (Section 3.9).
     """
     if request is None:
-        warnings.warn(
-            "calling k_closest_pairs with individual query keywords is "
-            "deprecated; build a CPQRequest and pass request=... "
-            "(the keyword shim will be removed -- see docs/API.md)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        request = CPQRequest(
-            k=k,
-            algorithm=algorithm,
-            metric=metric,
-            height_strategy=height_strategy,
-            tie_break=tie_break,
-            buffer_pages=buffer_pages,
-            maxmax_pruning=maxmax_pruning,
-            use_vectorized=use_vectorized,
-            deadline_ms=deadline_ms,
-            trace=trace,
-            reset_stats=reset_stats,
-        )
+        request = CPQRequest()
     if request.buffer_pages is not None:
         tree_p.file.set_buffer_capacity(request.buffer_pages // 2)
         tree_q.file.set_buffer_capacity(request.buffer_pages // 2)
@@ -577,6 +636,8 @@ def k_closest_pairs(
                 request.metric,
                 cancel_check=cancel_check,
                 tracer=tracer,
+                range_spec=request.range,
+                color_spec=request.colors,
             )
             result = request.spec.runner(ctx, request)
             result.stats.extra["parallel_fallback"] = {
@@ -591,6 +652,8 @@ def k_closest_pairs(
             request.metric,
             cancel_check=cancel_check,
             tracer=tracer,
+            range_spec=request.range,
+            color_spec=request.colors,
         )
         result = request.spec.runner(ctx, request)
     if local_tracer is not None:

@@ -79,6 +79,12 @@ class CPQOptions:
     #: with bit-identical arithmetic, and exists for parity testing and
     #: as the microbenchmark baseline.
     use_vectorized: bool = True
+    #: For range-constrained queries: evaluate MINMINDIST on the
+    #: intersection of each constrained-side MBR with the query window
+    #: instead of the raw MBR (the CLIPPED algorithm).  A clipped box
+    #: bounds exactly the in-window points below it, so its MINMINDIST
+    #: is a *tighter* valid lower bound on qualifying pair distances.
+    clip_mindist: bool = False
 
     def __post_init__(self) -> None:
         validate_strategy(self.height_strategy)
@@ -97,6 +103,8 @@ class CPQContext:
         tracer=None,
         roots=None,
         root_areas=None,
+        range_spec=None,
+        color_spec=None,
     ):
         if tree_p.dimension != tree_q.dimension:
             raise ValueError("trees index points of different dimensions")
@@ -104,6 +112,25 @@ class CPQContext:
         self.tree_q = tree_q
         self.k = k
         self.metric = metric
+        #: Query-family constraints (:mod:`repro.core.constraints`).
+        #: When either is set the traversal filters qualifying pairs at
+        #: the leaves and *suppresses* the MINMAXDIST / MAXMAXDIST
+        #: bound updates -- the point those bounds guarantee may be
+        #: out-of-window or wrong-colored, so only the K-heap threshold
+        #: (built from qualifying pairs) may tighten T.  MINMINDIST
+        #: pruning stays valid: it lower-bounds every pair, qualifying
+        #: ones included.
+        self.range_spec = range_spec
+        self.color_spec = color_spec
+        self.constrained = range_spec is not None or color_spec is not None
+        if range_spec is not None:
+            if range_spec.dimension != tree_p.dimension:
+                raise ValueError(
+                    "range window dimension does not match the trees"
+                )
+            self._range_lo = np.array(range_spec.lo, dtype=float)
+            self._range_hi = np.array(range_spec.hi, dtype=float)
+            self._range_mbr = range_spec.mbr()
         #: Cooperative cancellation: called once per visited node pair;
         #: raising from it (e.g. a service deadline) aborts the
         #: traversal, leaving trees and buffers consistent.
@@ -289,6 +316,51 @@ def _scalar_point_distances(leaf_p: Node, leaf_q: Node, metric) -> np.ndarray:
     return out
 
 
+def _qualifying_mask(
+    ctx: CPQContext, leaf_p: Node, leaf_q: Node
+) -> np.ndarray:
+    """Boolean (|P|, |Q|) mask of point pairs the constraints admit.
+
+    Range containment is evaluated per side from the leaves' point
+    arrays; colors derive from oids (``oid % modulus``), so the mask is
+    a pure function of data already on the pages.
+    """
+    mask_p = np.ones(len(leaf_p.entries), dtype=bool)
+    mask_q = np.ones(len(leaf_q.entries), dtype=bool)
+    spec = ctx.range_spec
+    if spec is not None:
+        if spec.constrains_p:
+            pts = leaf_p.points_array()
+            mask_p &= np.all(
+                (pts >= ctx._range_lo) & (pts <= ctx._range_hi), axis=1
+            )
+        if spec.constrains_q:
+            pts = leaf_q.points_array()
+            mask_q &= np.all(
+                (pts >= ctx._range_lo) & (pts <= ctx._range_hi), axis=1
+            )
+    mask = mask_p[:, None] & mask_q[None, :]
+    colors = ctx.color_spec
+    if colors is not None:
+        color_p = np.array(
+            [e.oid for e in leaf_p.entries], dtype=np.int64
+        ) % colors.modulus
+        color_q = np.array(
+            [e.oid for e in leaf_q.entries], dtype=np.int64
+        ) % colors.modulus
+        if colors.colors_p is not None:
+            mask &= np.isin(
+                color_p, np.array(colors.colors_p, dtype=np.int64)
+            )[:, None]
+        if colors.colors_q is not None:
+            mask &= np.isin(
+                color_q, np.array(colors.colors_q, dtype=np.int64)
+            )[None, :]
+        if colors.distinct:
+            mask &= color_p[:, None] != color_q[None, :]
+    return mask
+
+
 def scan_leaf_pair(
     ctx: CPQContext,
     leaf_p: Node,
@@ -296,7 +368,13 @@ def scan_leaf_pair(
     options: Optional[CPQOptions] = None,
 ) -> None:
     """Compute all point-pair distances of two leaves and update the
-    K-heap (step CP3 of every algorithm)."""
+    K-heap (step CP3 of every algorithm).
+
+    Constrained queries AND a qualifying mask into the selection, so
+    only admitted pairs ever reach the K-heap.  (The mask must gate the
+    selection itself, not just inflate distances: while T is still
+    infinite, ``inf <= inf`` would admit a masked pair.)
+    """
     if options is None or options.use_vectorized:
         distances = pairwise_point_distances(
             leaf_p.points_array(), leaf_q.points_array(), ctx.metric
@@ -304,14 +382,22 @@ def scan_leaf_pair(
     else:
         distances = _scalar_point_distances(leaf_p, leaf_q, ctx.metric)
     ctx.stats.distance_computations += distances.size
+    mask = _qualifying_mask(ctx, leaf_p, leaf_q) if ctx.constrained else None
     if ctx.k == 1:
+        if mask is not None:
+            if not mask.any():
+                return
+            distances = np.where(mask, distances, np.inf)
         flat = int(np.argmin(distances))
         i, j = divmod(flat, distances.shape[1])
         d = float(distances[i, j])
-        if d <= ctx.t:
+        if d <= ctx.t and math.isfinite(d):
             ctx.offer(leaf_p.entries[i], leaf_q.entries[j], d)
         return
-    rows, cols = np.nonzero(distances <= ctx.t)
+    qualifies = distances <= ctx.t
+    if mask is not None:
+        qualifies &= mask
+    rows, cols = np.nonzero(qualifies)
     if rows.size == 0:
         return
     values = distances[rows, cols]
@@ -403,6 +489,42 @@ def _side_mbrs(node: Node, expand: bool):
     return [node.mbr()]
 
 
+def _clip_side_arrays(ctx: CPQContext, lo, hi, constrained: bool):
+    """Clip one side's boxes against the query window (vectorized path).
+
+    Returns ``(lo', hi', infeasible)`` where ``infeasible`` flags boxes
+    disjoint from the window -- no qualifying point can lie below them.
+    Unconstrained sides pass through with an all-False flag.  Rows
+    flagged infeasible may carry inverted bounds; callers must mask
+    them out rather than trust distances computed from them.
+    """
+    if not constrained:
+        return lo, hi, np.zeros(len(lo), dtype=bool)
+    clipped_lo = np.maximum(lo, ctx._range_lo)
+    clipped_hi = np.minimum(hi, ctx._range_hi)
+    infeasible = np.any(clipped_lo > clipped_hi, axis=1)
+    return clipped_lo, clipped_hi, infeasible
+
+
+def _clip_side_mbrs(ctx: CPQContext, mbrs, constrained: bool):
+    """Scalar twin of :func:`_clip_side_arrays` over MBR objects.
+
+    :meth:`MBR.intersection` uses the same ``max`` / ``min`` float
+    operations as ``np.maximum`` / ``np.minimum``, preserving the
+    scalar/vectorized bit-parity contract through the clip.  Disjoint
+    boxes keep their original MBR as a placeholder (their distances are
+    masked out by the infeasible flag).
+    """
+    if not constrained:
+        return mbrs, [False] * len(mbrs)
+    clipped, infeasible = [], []
+    for box in mbrs:
+        overlap = box.intersection(ctx._range_mbr)
+        clipped.append(box if overlap is None else overlap)
+        infeasible.append(overlap is None)
+    return clipped, infeasible
+
+
 def _scalar_matrix(fn, name: str, mbrs_p, mbrs_q, metric) -> np.ndarray:
     """Entry-by-entry pairwise metric matrix for the scalar path."""
     out = np.array(
@@ -467,18 +589,56 @@ def generate_candidates(
     side = expansion(node_p, node_q, options.height_strategy)
     expand_p = side in (EXPAND_BOTH, EXPAND_P)
     expand_q = side in (EXPAND_BOTH, EXPAND_Q)
+    spec = ctx.range_spec if ctx.constrained else None
+    infeasible = None
     if options.use_vectorized:
         lo_p, hi_p = _side_arrays(node_p, expand_p)
         lo_q, hi_q = _side_arrays(node_q, expand_q)
-        minmin = pairwise_mindist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+        if spec is not None and options.prune:
+            clip_lo_p, clip_hi_p, bad_p = _clip_side_arrays(
+                ctx, lo_p, hi_p, spec.constrains_p
+            )
+            clip_lo_q, clip_hi_q, bad_q = _clip_side_arrays(
+                ctx, lo_q, hi_q, spec.constrains_q
+            )
+            infeasible = bad_p[:, None] | bad_q[None, :]
+            if options.clip_mindist:
+                minmin = pairwise_mindist(
+                    clip_lo_p, clip_hi_p, clip_lo_q, clip_hi_q, ctx.metric
+                )
+            else:
+                minmin = pairwise_mindist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
+        else:
+            minmin = pairwise_mindist(lo_p, hi_p, lo_q, hi_q, ctx.metric)
     else:
         mbrs_p = _side_mbrs(node_p, expand_p)
         mbrs_q = _side_mbrs(node_q, expand_q)
-        minmin = _scalar_matrix(
-            scalar_metrics.mindist, "minmin_scalar", mbrs_p, mbrs_q, ctx.metric
-        )
+        if spec is not None and options.prune:
+            clip_p, bad_p = _clip_side_mbrs(ctx, mbrs_p, spec.constrains_p)
+            clip_q, bad_q = _clip_side_mbrs(ctx, mbrs_q, spec.constrains_q)
+            infeasible = (
+                np.array(bad_p, dtype=bool)[:, None]
+                | np.array(bad_q, dtype=bool)[None, :]
+            )
+            use_p = clip_p if options.clip_mindist else mbrs_p
+            use_q = clip_q if options.clip_mindist else mbrs_q
+            minmin = _scalar_matrix(
+                scalar_metrics.mindist, "minmin_scalar", use_p, use_q,
+                ctx.metric,
+            )
+        else:
+            minmin = _scalar_matrix(
+                scalar_metrics.mindist, "minmin_scalar", mbrs_p, mbrs_q,
+                ctx.metric,
+            )
     minmax_matrix = None
-    if options.update_bound:
+    # Constrained queries must not tighten T from MINMAXDIST /
+    # MAXMAXDIST: the point pair those bounds guarantee may lie outside
+    # the window or carry an inadmissible color, so treating them as
+    # upper bounds on the K-th *qualifying* distance would prune real
+    # answers.  Only the K-heap threshold (built from qualifying pairs)
+    # tightens T; MINMINDIST pruning below stays valid unchanged.
+    if options.update_bound and not ctx.constrained:
         if options.use_vectorized:
             minmax_matrix = pairwise_minmaxdist(
                 lo_p, hi_p, lo_q, hi_q, ctx.metric
@@ -520,7 +680,13 @@ def generate_candidates(
     flat = minmin.ravel()
     columns = minmin.shape[1]
     if options.prune:
-        keep = np.nonzero(flat <= ctx.t)[0]
+        within = flat <= ctx.t
+        if infeasible is not None:
+            # Subtrees disjoint from the window hold no qualifying
+            # point; drop them outright (an explicit mask, because
+            # ``inf <= inf`` would keep them while T is infinite).
+            within &= ~infeasible.ravel()
+        keep = np.nonzero(within)[0]
     else:
         keep = np.arange(flat.size)
     if ctx.tracer.enabled:

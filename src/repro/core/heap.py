@@ -43,11 +43,15 @@ def heap_algorithm(
     tie_break: Optional[TieBreak] = None,
     maxmax_pruning: bool = True,
     use_vectorized: bool = True,
+    clip_mindist: bool = False,
 ) -> CPQResult:
     """Run the Heap algorithm on a prepared query context.
 
     ``maxmax_pruning`` toggles the Section 3.8 MAXMAXDIST accumulation
     bound for K > 1 (off = the simple K-heap-threshold modification).
+    ``clip_mindist`` keys the heap by MINMINDIST of range-clipped MBRs
+    instead of raw ones (the CLIPPED algorithm; requires a range on the
+    context to differ from plain HEAP).
     """
     options = CPQOptions(
         prune=True,
@@ -56,6 +60,7 @@ def heap_algorithm(
         height_strategy=height_strategy,
         maxmax_k_pruning=maxmax_pruning,
         use_vectorized=use_vectorized,
+        clip_mindist=clip_mindist,
     )
     ties = tie_break if tie_break is not None else DEFAULT_TIE_BREAK
     root_p = ctx.root_p

@@ -85,6 +85,10 @@ _PARTITION_POLICY = {
     "sim": dict(prune=True, update_bound=True),
     "std": dict(prune=True, update_bound=True),
     "heap": dict(prune=True, update_bound=True),
+    # CLIPPED = HEAP policy + range-clipped MINMINDIST.  (The constrained
+    # suppression of update_bound happens inside generate_candidates via
+    # ctx.constrained, so no constrained variants are needed here.)
+    "clipped": dict(prune=True, update_bound=True, clip_mindist=True),
 }
 
 
@@ -182,6 +186,7 @@ def partition_tasks(ctx: CPQContext, request) -> List[PartitionTask]:
         height_strategy=request.height_strategy,
         maxmax_k_pruning=request.maxmax_pruning,
         use_vectorized=request.use_vectorized,
+        clip_mindist=policy.get("clip_mindist", False),
     )
     frontier: List[Tuple[Node, Node]] = [(ctx.root_p, ctx.root_q)]
     for _ in range(request.partition_depth):
@@ -237,6 +242,8 @@ def _thread_worker(
         request.metric,
         roots=(ctx.root_p, ctx.root_q),
         root_areas=(ctx.root_area_p, ctx.root_area_q),
+        range_spec=request.range,
+        color_spec=request.colors,
     )
     wctx.bound = ctx.bound
     report = WorkerReport(worker_id=worker_id)
@@ -360,7 +367,10 @@ def _process_worker(payload: dict) -> dict:
     request = payload["request"]
     tree_p = _open_worker_tree(payload, "p")
     tree_q = _open_worker_tree(payload, "q")
-    ctx = CPQContext(tree_p, tree_q, request.k, request.metric)
+    ctx = CPQContext(
+        tree_p, tree_q, request.k, request.metric,
+        range_spec=request.range, color_spec=request.colors,
+    )
     ctx.bound = payload["initial_bound"]
     if request.deadline_ms is not None:
         from repro.core.api import _deadline_probe
@@ -482,6 +492,8 @@ def parallel_k_closest_pairs(
         request.metric,
         cancel_check=cancel_check,
         tracer=tracer,
+        range_spec=request.range,
+        color_spec=request.colors,
     )
     if ctx.root_p is None or ctx.root_q is None:
         return ctx.result(spec.label)

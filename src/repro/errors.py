@@ -34,6 +34,11 @@ Hierarchy
     :mod:`repro.service`.
   * :class:`ServiceOverloadError` -- the query service shed the request
     under load (queue depth at or above the shedding threshold).
+  * :class:`UnsupportedCapabilityError` -- a request asked an algorithm
+    for a capability (range window, color predicates) its registry
+    entry does not declare.  Carries the capability name and the list
+    of capable algorithms; the service answers ``bad_request`` and the
+    network edge maps it to HTTP 400.
 
 Transient faults are *retried* (:class:`repro.storage.buffer.LRUBuffer`
 with a :class:`~repro.storage.buffer.RetryPolicy`); corruption is
@@ -82,6 +87,33 @@ class DeadlineExceeded(ReproError):
     buffers remain usable.  (Re-exported by ``repro.core.api`` and
     ``repro.service``.)
     """
+
+
+class UnsupportedCapabilityError(ReproError, ValueError):
+    """A request demands a capability its algorithm does not declare.
+
+    Raised at :class:`repro.core.CPQRequest` validation time, so an
+    incapable combination never reaches a traversal.  ``capability`` is
+    the flag that was missing (``"range"`` or ``"colors"``) and
+    ``capable`` the registry algorithms that do declare it -- the
+    message lists them so callers can self-serve the fix.  Subclasses
+    :class:`ValueError` so pre-existing construction-error handlers
+    keep catching it.
+    """
+
+    def __init__(self, algorithm: str, capability: str,
+                 capable: tuple = ()):
+        hint = (
+            f"; algorithms supporting it: {', '.join(capable)}"
+            if capable else ""
+        )
+        super().__init__(
+            f"algorithm {algorithm!r} does not support "
+            f"{capability} queries{hint}"
+        )
+        self.algorithm = algorithm
+        self.capability = capability
+        self.capable = tuple(capable)
 
 
 class ServiceOverloadError(ReproError):

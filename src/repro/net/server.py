@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.net import wire
 from repro.service import QueryService
 from repro.service.engine import (
+    STATUS_BAD_REQUEST,
     STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_OK,
@@ -54,6 +55,7 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Structured response status -> HTTP status line.
 _HTTP_STATUS = {
     STATUS_OK: (200, "OK"),
+    STATUS_BAD_REQUEST: (400, "Bad Request"),
     STATUS_REJECTED: (503, "Service Unavailable"),
     STATUS_OVERLOADED: (503, "Service Unavailable"),
     STATUS_UNAVAILABLE: (503, "Service Unavailable"),

@@ -180,7 +180,10 @@ def shard_worker_main(shard_id: int, spec_p: TreeSpec, spec_q: TreeSpec,
         before_p = tree_p.stats.snapshot()
         before_q = tree_q.stats.snapshot()
         try:
-            ctx = CPQContext(tree_p, tree_q, request.k, request.metric)
+            ctx = CPQContext(
+                tree_p, tree_q, request.k, request.metric,
+                range_spec=request.range, color_spec=request.colors,
+            )
             ctx.bound = initial_bound
             if request.deadline_ms is not None:
                 from repro.core.api import _deadline_probe
@@ -441,6 +444,7 @@ class ShardManager:
         ctx = CPQContext(
             self.tree_p, self.tree_q, request.k, request.metric,
             cancel_check=cancel_check, tracer=tracer,
+            range_spec=request.range, color_spec=request.colors,
         )
         if ctx.root_p is None or ctx.root_q is None:
             return ctx.result(spec.label)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.core.constraints import ColorSpec, RangeSpec
 from repro.core.result import ClosestPair, CPQResult
 from repro.rtree.entries import LeafEntry
 from repro.service import (
@@ -46,7 +47,14 @@ from repro.service import (
 from repro.storage.stats import QueryStats
 
 #: Wire protocol version; bump on any incompatible envelope change.
-WIRE_VERSION = 1
+#: Version 2 adds the optional ``range`` / ``colors`` fields to the
+#: cpq request envelope.  The additions are backwards-compatible --
+#: absent fields decode to unconstrained queries -- so version-1
+#: envelopes remain accepted (:data:`ACCEPTED_VERSIONS`).
+WIRE_VERSION = 2
+
+#: Envelope versions this decoder speaks.
+ACCEPTED_VERSIONS = frozenset({1, 2})
 
 Request = Union[CPQRequest, KNNRequest, RangeRequest]
 
@@ -57,10 +65,10 @@ class WireError(ValueError):
 
 def _require_version(obj: Dict[str, Any]) -> None:
     version = obj.get("v")
-    if version != WIRE_VERSION:
+    if version not in ACCEPTED_VERSIONS:
         raise WireError(
             f"unsupported wire version {version!r}; this endpoint "
-            f"speaks version {WIRE_VERSION}"
+            f"speaks versions {sorted(ACCEPTED_VERSIONS)}"
         )
 
 
@@ -104,6 +112,29 @@ def encode_request(request: Request) -> Dict[str, Any]:
             use_vectorized=request.use_vectorized,
             workers=request.workers,
         )
+        # Constraint fields (wire v2) are emitted only when set, so an
+        # unconstrained request's envelope stays v1-shaped apart from
+        # the version number.
+        if request.range is not None:
+            out["range"] = {
+                "lo": list(request.range.lo),
+                "hi": list(request.range.hi),
+                "mode": request.range.mode,
+            }
+        if request.colors is not None:
+            colors = request.colors
+            out["colors"] = {
+                "modulus": colors.modulus,
+                "colors_p": (
+                    list(colors.colors_p)
+                    if colors.colors_p is not None else None
+                ),
+                "colors_q": (
+                    list(colors.colors_q)
+                    if colors.colors_q is not None else None
+                ),
+                "distinct": colors.distinct,
+            }
     elif request.kind == "knn":
         out.update(point=list(request.point), k=request.k,
                    side=request.side)
@@ -113,6 +144,31 @@ def encode_request(request: Request) -> Dict[str, Any]:
     else:  # pragma: no cover -- the union above is exhaustive
         raise WireError(f"unknown request kind {request.kind!r}")
     return out
+
+
+def _decode_range_spec(obj: Optional[Dict[str, Any]]) -> Optional[RangeSpec]:
+    """Decode the v2 ``range`` field; absent (v1) means unconstrained."""
+    if obj is None:
+        return None
+    return RangeSpec(
+        lo=tuple(obj["lo"]),
+        hi=tuple(obj["hi"]),
+        mode=obj.get("mode", "both"),
+    )
+
+
+def _decode_color_spec(obj: Optional[Dict[str, Any]]) -> Optional[ColorSpec]:
+    """Decode the v2 ``colors`` field; absent (v1) means uncolored."""
+    if obj is None:
+        return None
+    colors_p = obj.get("colors_p")
+    colors_q = obj.get("colors_q")
+    return ColorSpec(
+        modulus=int(obj["modulus"]),
+        colors_p=tuple(colors_p) if colors_p is not None else None,
+        colors_q=tuple(colors_q) if colors_q is not None else None,
+        distinct=bool(obj.get("distinct", False)),
+    )
 
 
 def decode_request(obj: Dict[str, Any]) -> Request:
@@ -139,6 +195,8 @@ def decode_request(obj: Dict[str, Any]) -> Request:
                 maxmax_pruning=bool(obj.get("maxmax_pruning", True)),
                 use_vectorized=bool(obj.get("use_vectorized", True)),
                 workers=int(obj.get("workers", 0)),
+                range=_decode_range_spec(obj.get("range")),
+                colors=_decode_color_spec(obj.get("colors")),
                 **common,
             )
         if op == "knn":
@@ -274,6 +332,10 @@ def _decode_plan(obj: Optional[Dict]) -> Optional[PlanDecision]:
         k=int(obj.get("k", 1)),
         workers=int(obj.get("workers", 1)),
         estimated_speedup=float(obj.get("estimated_speedup", 1.0)),
+        range_selectivity=(
+            float(obj["range_selectivity"])
+            if obj.get("range_selectivity") is not None else None
+        ),
     )
 
 

@@ -10,6 +10,7 @@ from repro.query.epsilon_join import distance_range_join
 from repro.query.knn import nearest_neighbor, nearest_neighbors
 from repro.query.point_location import point_location
 from repro.query.range_query import range_query
+from repro.query.rcp import RangeCandidateIndex, rcp_k_closest_pairs
 
 __all__ = [
     "range_query",
@@ -17,4 +18,6 @@ __all__ = [
     "nearest_neighbors",
     "nearest_neighbor",
     "distance_range_join",
+    "rcp_k_closest_pairs",
+    "RangeCandidateIndex",
 ]

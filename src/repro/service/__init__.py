@@ -21,6 +21,7 @@ from repro.service.engine import (
     QueryService,
     RangeRequest,
     ServiceClosed,
+    STATUS_BAD_REQUEST,
     STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_OK,
@@ -46,6 +47,7 @@ __all__ = [
     "ServiceClosed",
     "ServiceMetrics",
     "ServiceOverloadError",
+    "STATUS_BAD_REQUEST",
     "STATUS_DEADLINE",
     "STATUS_ERROR",
     "STATUS_OK",

@@ -61,8 +61,13 @@ from repro.core.api import (
     DeadlineExceeded,
     k_closest_pairs,
 )
+from repro.core.constraints import ColorSpec, RangeSpec
 from repro.core.height import FIX_AT_ROOT
-from repro.errors import ServiceOverloadError, StorageError
+from repro.errors import (
+    ServiceOverloadError,
+    StorageError,
+    UnsupportedCapabilityError,
+)
 from repro.geometry.mbr import MBR
 from repro.obs.trace import NULL_TRACER
 from repro.query.knn import nearest_neighbors
@@ -82,6 +87,12 @@ STATUS_OVERLOADED = "overloaded"
 #: Refused at execution: the pair's circuit breaker is open and no
 #: stale result was available to degrade onto.
 STATUS_UNAVAILABLE = "unavailable"
+#: The request itself is invalid -- most prominently a capability
+#: mismatch (:class:`repro.errors.UnsupportedCapabilityError`): a
+#: range window or color predicate demanded from an algorithm whose
+#: registry entry does not declare it.  The network edge maps this to
+#: HTTP 400.
+STATUS_BAD_REQUEST = "bad_request"
 
 
 class ServiceClosed(RuntimeError):
@@ -135,6 +146,30 @@ class CPQRequest:
     #: concurrently.  Execution-only: not part of the cache key (the
     #: key already embeds the committed generations).
     pin_snapshot: bool = True
+    #: Optional range window (:class:`repro.core.constraints.RangeSpec`
+    #: or a bare ``(lo, hi)`` tuple) restricting reported pairs, and
+    #: optional color predicates (:class:`~repro.core.constraints.
+    #: ColorSpec`, a dict of its fields, or a bare modulus int).
+    #: Capability validation happens when the request projects onto the
+    #: core query: a forced algorithm without the matching flag raises
+    #: :class:`~repro.errors.UnsupportedCapabilityError`, answered as
+    #: ``bad_request``; ``"auto"`` plans a capable algorithm.
+    range: Optional[RangeSpec] = None
+    colors: Optional[ColorSpec] = None
+
+    def __post_init__(self) -> None:
+        # Normalise to the canonical frozen specs up front, so cache
+        # keys, plans and wire payloads all see one identity.
+        if self.range is not None and not isinstance(self.range, RangeSpec):
+            lo, hi = self.range
+            object.__setattr__(self, "range", RangeSpec(tuple(lo), tuple(hi)))
+        if self.colors is not None and not isinstance(self.colors, ColorSpec):
+            if isinstance(self.colors, dict):
+                object.__setattr__(self, "colors", ColorSpec(**self.colors))
+            else:
+                object.__setattr__(
+                    self, "colors", ColorSpec(modulus=int(self.colors))
+                )
 
     def to_query(self, algorithm: Optional[str] = None,
                  workers: Optional[int] = None) -> core_api.CPQRequest:
@@ -157,6 +192,8 @@ class CPQRequest:
             use_vectorized=self.use_vectorized,
             reset_stats=False,
             workers=max(1, workers),
+            range=self.range,
+            colors=self.colors,
         )
 
     def cache_params(self) -> Tuple:
@@ -555,7 +592,7 @@ class QueryService:
         ``[h.result() for h in handles]``.  Admission semantics match
         :meth:`submit` (rejected-on-full, never blocks).
         """
-        plans: Dict[Tuple[str, int, int], PlanDecision] = {}
+        plans: Dict[Tuple, PlanDecision] = {}
         warmed = set()
         for request in requests:
             with self._pairs_lock:
@@ -572,12 +609,13 @@ class QueryService:
                 continue
             budget = (self.max_query_workers
                       if request.workers == 0 else 1)
-            key = (pair.name, request.k, budget)
+            key = (pair.name, request.k, budget, request.range)
             if key not in plans:
                 shape_p, shape_q = self._shapes(pair)
                 plans[key] = self.planner.plan(
                     shape_p, shape_q, pair.buffer_pages(), k=request.k,
                     tracer=self.tracer, workers=budget,
+                    range_spec=request.range,
                 )
         handles = []
         for request in requests:
@@ -585,7 +623,9 @@ class QueryService:
             if request.kind == "cpq" and request.algorithm == "auto":
                 budget = (self.max_query_workers
                           if request.workers == 0 else 1)
-                preplanned = plans.get((request.pair, request.k, budget))
+                preplanned = plans.get(
+                    (request.pair, request.k, budget, request.range)
+                )
             handles.append(self.submit(request, _preplanned=preplanned))
         return handles
 
@@ -679,6 +719,14 @@ class QueryService:
             return QueryResponse(
                 status=STATUS_DEADLINE, kind=request.kind,
                 error="deadline exceeded",
+            )
+        except UnsupportedCapabilityError as exc:
+            # The request is malformed, not the service unhealthy: a
+            # forced algorithm lacking the demanded capability.  The
+            # message carries the capable algorithms.
+            return QueryResponse(
+                status=STATUS_BAD_REQUEST, kind=request.kind,
+                error=str(exc),
             )
         except Exception as exc:  # noqa: BLE001 -- pool must survive
             return QueryResponse(
@@ -890,6 +938,7 @@ class QueryService:
                     workers=(self.max_query_workers
                              if request.workers == 0 else 1),
                     degraded=pair.breaker.state != CLOSED,
+                    range_spec=request.range,
                 )
             algorithm = plan.algorithm
             self.metrics.record_planner_decision(algorithm)

@@ -21,6 +21,12 @@ capacity actually configured on the queried pair:
 ``NAIVE`` is never planned; it exists as an experimental baseline.
 For trees the cost model cannot shape (empty, or not 2-dimensional)
 the planner falls back to ``heap``, the paper's best general answer.
+
+Requests carrying a range window route through a separate ranged
+policy: the planner estimates the window's workspace selectivity
+(:func:`~repro.analysis.cost_model.estimate_range_selectivity`) and
+picks the memoized RCP candidate structure for small windows or the
+CLIPPED traversal for large ones.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.analysis.cost_model import (
     estimate_closest_pair_distance,
     estimate_cpq_accesses,
     estimate_parallel_speedup,
+    estimate_range_selectivity,
 )
 from repro.core.api import ALGORITHM_REGISTRY, PLANNABLE_ALGORITHMS
 from repro.obs.trace import NULL_TRACER
@@ -67,9 +74,12 @@ class PlanDecision:
     workers: int = 1
     #: Predicted wall-clock speedup at ``workers`` (1.0 when serial).
     estimated_speedup: float = 1.0
+    #: Estimated fraction of the workspace the query window covers
+    #: (``None`` for unconstrained plans).
+    range_selectivity: Optional[float] = None
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "algorithm": self.algorithm,
             "reason": self.reason,
             "estimated_accesses": self.estimated_accesses,
@@ -80,6 +90,9 @@ class PlanDecision:
             "workers": self.workers,
             "estimated_speedup": round(self.estimated_speedup, 3),
         }
+        if self.range_selectivity is not None:
+            out["range_selectivity"] = round(self.range_selectivity, 4)
+        return out
 
 
 class Planner:
@@ -90,15 +103,25 @@ class Planner:
     """
 
     def __init__(self, sim_threshold: float = 24.0,
-                 parallel_speedup_threshold: float = 1.5):
+                 parallel_speedup_threshold: float = 1.5,
+                 rcp_selectivity_threshold: float = 0.10):
         if sim_threshold < 0:
             raise ValueError("sim_threshold must be >= 0")
         if parallel_speedup_threshold < 1.0:
             raise ValueError("parallel_speedup_threshold must be >= 1.0")
+        if not 0.0 <= rcp_selectivity_threshold <= 1.0:
+            raise ValueError(
+                "rcp_selectivity_threshold must lie in [0, 1]"
+            )
         self.sim_threshold = sim_threshold
         #: Minimum predicted speedup before the planner recommends
         #: spending worker threads on one query.
         self.parallel_speedup_threshold = parallel_speedup_threshold
+        #: Ranged plans: windows covering at most this workspace
+        #: fraction go to the memoized RCP candidate structure (small
+        #: windows produce small, highly reusable candidate lists);
+        #: larger windows run the CLIPPED traversal directly.
+        self.rcp_selectivity_threshold = rcp_selectivity_threshold
 
     def plan(
         self,
@@ -109,6 +132,7 @@ class Planner:
         tracer=NULL_TRACER,
         workers: int = 1,
         degraded: bool = False,
+        range_spec=None,
     ) -> PlanDecision:
         """Pick an algorithm for one K-CPQ against a shaped tree pair.
 
@@ -139,6 +163,14 @@ class Planner:
             The pair's storage is suspect (its circuit breaker is not
             closed): cap the plan at one worker so a struggling device
             is not hit by a fan-out of parallel readers.
+        range_spec:
+            Optional :class:`repro.core.constraints.RangeSpec`.  Ranged
+            plans choose between the specialized range algorithms by
+            estimated window selectivity
+            (:func:`~repro.analysis.cost_model.estimate_range_selectivity`):
+            at most ``rcp_selectivity_threshold`` -> ``rcp`` (memoized
+            candidate structure), above it -> ``clipped`` (clipped
+            best-first traversal).
 
         Returns
         -------
@@ -151,16 +183,20 @@ class Planner:
             workers = 1
         if not tracer.enabled:
             decision = self._decide(shape_p, shape_q, buffer_pages, k,
-                                    workers)
+                                    workers, range_spec)
         else:
             with tracer.span("plan") as span:
                 decision = self._decide(shape_p, shape_q, buffer_pages, k,
-                                        workers)
+                                        workers, range_spec)
                 span.annotate(**decision.as_dict())
                 if degraded:
                     span.annotate(degraded=True)
         spec = ALGORITHM_REGISTRY[decision.algorithm]
-        assert spec.plannable, f"planner chose unplannable {spec.name!r}"
+        # Unconstrained plans stay within the paper's plannable set;
+        # ranged plans may pick the specialized range algorithms.
+        assert spec.plannable or spec.specialized, (
+            f"planner chose unplannable {spec.name!r}"
+        )
         return decision
 
     def _decide(
@@ -170,10 +206,11 @@ class Planner:
         buffer_pages: int,
         k: int,
         workers: int = 1,
+        range_spec=None,
     ) -> PlanDecision:
         if shape_p is None or shape_q is None:
             return PlanDecision(
-                algorithm=FALLBACK,
+                algorithm="clipped" if range_spec is not None else FALLBACK,
                 reason="cost model unavailable for this pair; "
                        "defaulting to the best general algorithm",
                 estimated_accesses=math.inf,
@@ -202,6 +239,11 @@ class Planner:
         # the 1-CP distance; the bound a K-CPQ converges to is d_K.
         reach = distance * math.sqrt(k)
         accesses = estimate_cpq_accesses(shape_p, shape_q, t=reach)
+        if range_spec is not None:
+            return self._decide_ranged(
+                shape_p, shape_q, buffer_pages, k, workers,
+                range_spec, distance, accesses,
+            )
         if accesses <= self.sim_threshold:
             algorithm = "sim"
             reason = (
@@ -244,4 +286,65 @@ class Planner:
             k=k,
             workers=chosen_workers,
             estimated_speedup=speedup,
+        )
+
+    def _decide_ranged(
+        self,
+        shape_p: TreeShape,
+        shape_q: TreeShape,
+        buffer_pages: int,
+        k: int,
+        workers: int,
+        range_spec,
+        distance: float,
+        accesses: float,
+    ) -> PlanDecision:
+        """Choose between the specialized range algorithms.
+
+        Selectivity is estimated per constrained side and the largest
+        taken (the side admitting more points dominates the traversal's
+        qualifying population).
+        """
+        sides = []
+        if range_spec.constrains_p:
+            sides.append(estimate_range_selectivity(shape_p, range_spec))
+        if range_spec.constrains_q:
+            sides.append(estimate_range_selectivity(shape_q, range_spec))
+        selectivity = max(sides) if sides else 1.0
+        if selectivity <= self.rcp_selectivity_threshold:
+            algorithm = "rcp"
+            reason = (
+                f"window covers ~{selectivity:.1%} of the workspace "
+                f"(<= {self.rcp_selectivity_threshold:.0%}); small "
+                f"candidate lists memoize well"
+            )
+        else:
+            algorithm = "clipped"
+            reason = (
+                f"window covers ~{selectivity:.1%} of the workspace "
+                f"(> {self.rcp_selectivity_threshold:.0%}); clipped "
+                f"best-first traversal without memoization"
+            )
+        chosen_workers, speedup = 1, 1.0
+        if workers > 1 and ALGORITHM_REGISTRY[algorithm].supports_parallel:
+            speedup = estimate_parallel_speedup(accesses, workers)
+            if speedup >= self.parallel_speedup_threshold:
+                chosen_workers = workers
+                reason += (
+                    f"; ~{speedup:.1f}x predicted from {workers} workers"
+                )
+            else:
+                speedup = 1.0
+        return PlanDecision(
+            algorithm=algorithm,
+            reason=reason,
+            estimated_accesses=accesses,
+            estimated_distance=distance,
+            buffer_pages=buffer_pages,
+            height_p=shape_p.height,
+            height_q=shape_q.height,
+            k=k,
+            workers=chosen_workers,
+            estimated_speedup=speedup,
+            range_selectivity=selectivity,
         )

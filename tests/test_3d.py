@@ -7,7 +7,7 @@ import random
 
 import pytest
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.core.api import CORE_ALGORITHMS as ALGORITHMS
 from repro.geometry.mbr import MBR
 from repro.geometry.metrics import maxmaxdist, minmaxdist, minmindist
@@ -97,7 +97,11 @@ class TestCPQ3D:
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
     def test_all_algorithms_match_brute_force(self, algorithm, trees_3d):
         pts_p, pts_q, tree_p, tree_q = trees_3d
-        result = k_closest_pairs(tree_p, tree_q, k=7, algorithm=algorithm)
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=7, algorithm=algorithm),
+        )
         brute = sorted(
             math.dist(p, q)
             for p, q in itertools.product(pts_p, pts_q)

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.core.api import closest_pair
 from repro.rtree.bulk import bulk_load
 
@@ -20,32 +20,41 @@ def trees():
 class TestValidation:
     def test_unknown_algorithm(self, trees):
         with pytest.raises(ValueError, match="unknown algorithm"):
-            k_closest_pairs(*trees, algorithm="quantum")
+            k_closest_pairs(*trees, request=CPQRequest(algorithm="quantum"))
 
     def test_algorithm_case_insensitive(self, trees):
-        result = k_closest_pairs(*trees, algorithm="HEAP")
+        result = k_closest_pairs(*trees, request=CPQRequest(algorithm="HEAP"))
         assert result.algorithm == "HEAP"
 
     def test_invalid_k(self, trees):
         with pytest.raises(ValueError, match="k must be"):
-            k_closest_pairs(*trees, k=0)
+            k_closest_pairs(*trees, request=CPQRequest(k=0))
 
     def test_negative_buffer(self, trees):
         with pytest.raises(ValueError, match="buffer_pages"):
-            k_closest_pairs(*trees, buffer_pages=-1)
+            k_closest_pairs(*trees, request=CPQRequest(buffer_pages=-1))
 
     def test_unknown_height_strategy(self, trees):
         with pytest.raises(ValueError, match="height strategy"):
-            k_closest_pairs(*trees, height_strategy="sideways")
+            k_closest_pairs(
+                *trees,
+                request=CPQRequest(height_strategy="sideways"),
+            )
 
     def test_unknown_tie_break(self, trees):
         with pytest.raises(ValueError, match="tie criterion"):
-            k_closest_pairs(*trees, algorithm="std", tie_break="T7")
+            k_closest_pairs(
+                *trees,
+                request=CPQRequest(algorithm="std", tie_break="T7"),
+            )
 
 
 class TestStatistics:
     def test_stats_populated(self, trees):
-        result = k_closest_pairs(*trees, k=5, algorithm="std")
+        result = k_closest_pairs(
+            *trees,
+            request=CPQRequest(k=5, algorithm="std"),
+        )
         assert result.stats.disk_accesses > 0
         assert result.stats.node_pairs_visited > 0
         assert result.stats.distance_computations > 0
@@ -53,38 +62,49 @@ class TestStatistics:
         assert result.algorithm == "STD"
 
     def test_heap_tracks_queue_size(self, trees):
-        result = k_closest_pairs(*trees, k=5, algorithm="heap")
+        result = k_closest_pairs(
+            *trees,
+            request=CPQRequest(k=5, algorithm="heap"),
+        )
         assert result.stats.max_queue_size > 0
         assert result.stats.queue_inserts > 0
 
     def test_buffer_reduces_disk_accesses(self, trees):
-        cold = k_closest_pairs(*trees, k=100, algorithm="exh",
-                               buffer_pages=0)
-        warm = k_closest_pairs(*trees, k=100, algorithm="exh",
-                               buffer_pages=256)
+        cold = k_closest_pairs(
+            *trees,
+            request=CPQRequest(k=100, algorithm="exh", buffer_pages=0),
+        )
+        warm = k_closest_pairs(
+            *trees,
+            request=CPQRequest(k=100, algorithm="exh", buffer_pages=256),
+        )
         assert warm.stats.disk_accesses < cold.stats.disk_accesses
         assert warm.stats.buffer_hits > 0
 
     def test_reset_stats_gives_reproducible_costs(self, trees):
-        first = k_closest_pairs(*trees, k=3, algorithm="heap",
-                                buffer_pages=64)
-        second = k_closest_pairs(*trees, k=3, algorithm="heap",
-                                 buffer_pages=64)
+        first = k_closest_pairs(
+            *trees,
+            request=CPQRequest(k=3, algorithm="heap", buffer_pages=64),
+        )
+        second = k_closest_pairs(
+            *trees,
+            request=CPQRequest(k=3, algorithm="heap", buffer_pages=64),
+        )
         assert first.stats.disk_accesses == second.stats.disk_accesses
 
     def test_pruning_hierarchy(self, trees):
         # Each refinement may only reduce the work done (on disjoint
         # workspaces, where pruning has traction).
-        naive = k_closest_pairs(*trees, algorithm="naive")
-        exh = k_closest_pairs(*trees, algorithm="exh")
-        std = k_closest_pairs(*trees, algorithm="std")
+        naive = k_closest_pairs(*trees, request=CPQRequest(algorithm="naive"))
+        exh = k_closest_pairs(*trees, request=CPQRequest(algorithm="exh"))
+        std = k_closest_pairs(*trees, request=CPQRequest(algorithm="std"))
         assert exh.stats.disk_accesses <= naive.stats.disk_accesses
         assert std.stats.disk_accesses <= exh.stats.disk_accesses
 
 
 class TestResultType:
     def test_min_max_distance(self, trees):
-        result = k_closest_pairs(*trees, k=10)
+        result = k_closest_pairs(*trees, request=CPQRequest(k=10))
         assert result.min_distance == result.pairs[0].distance
         assert result.max_distance == result.pairs[-1].distance
         assert result.min_distance <= result.max_distance
@@ -100,5 +120,5 @@ class TestResultType:
 
     def test_closest_pair_convenience(self, trees):
         single = closest_pair(*trees)
-        full = k_closest_pairs(*trees, k=1)
+        full = k_closest_pairs(*trees, request=CPQRequest(k=1))
         assert single.distance == full.pairs[0].distance

@@ -154,7 +154,7 @@ class TestPoliciesOnQueries:
         """Replacement policy affects cost, never correctness."""
         import random
 
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
         from repro.rtree.bulk import bulk_load
         from repro.rtree.tree import RTreeConfig
 
@@ -169,7 +169,9 @@ class TestPoliciesOnQueries:
             tree_q = bulk_load(pts_q, file=PagedFile(
                 buffer_capacity=8, buffer_policy=policy))
             result = k_closest_pairs(
-                tree_p, tree_q, k=10, algorithm="std", reset_stats=True
+                tree_p,
+                tree_q,
+                request=CPQRequest(k=10, algorithm="std", reset_stats=True),
             )
             costs[policy] = result.stats.disk_accesses
             if reference is None:

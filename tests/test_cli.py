@@ -87,7 +87,7 @@ class TestBuildInfoQuery:
         assert "# HEAP:" in capsys.readouterr().out
 
     def test_query_results_match_library(self, tmp_path, capsys):
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
         from repro.datasets import load_points
         from repro.rtree.bulk import bulk_load
 
@@ -98,8 +98,9 @@ class TestBuildInfoQuery:
         run_cli("query", left, right, "--k", "1")
         out = capsys.readouterr().out
         expected = k_closest_pairs(
-            bulk_load(load_points(left)), bulk_load(load_points(right)),
-            k=1,
+            bulk_load(load_points(left)),
+            bulk_load(load_points(right)),
+            request=CPQRequest(k=1),
         )
         assert f"{expected.pairs[0].distance:.9f}" in out
 

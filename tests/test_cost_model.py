@@ -167,13 +167,17 @@ class TestClosestDistanceEstimate:
 
 class TestAccessEstimate:
     def _measure(self, overlap):
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
 
         n = 5000
         ws_q = overlapping_workspace(UNIT_WORKSPACE, overlap)
         tree_p = bulk_load(uniform_points(n, seed=11))
         tree_q = bulk_load(uniform_points(n, ws_q, seed=22))
-        result = k_closest_pairs(tree_p, tree_q, k=1, algorithm="heap")
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=1, algorithm="heap"),
+        )
         shape_p = TreeShape.from_tree(tree_p, UNIT_WORKSPACE)
         shape_q = TreeShape.from_tree(tree_q, ws_q)
         predicted = estimate_cpq_accesses(shape_p, shape_q)

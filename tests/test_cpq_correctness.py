@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import k_closest_pairs
+from repro.core import CPQRequest, k_closest_pairs
 from repro.core.api import CORE_ALGORITHMS as ALGORITHMS, closest_pair
 from repro.core.height import FIX_AT_LEAVES, FIX_AT_ROOT
 from repro.geometry.minkowski import CHEBYSHEV, MANHATTAN
@@ -44,7 +44,11 @@ class TestAgainstBruteForce:
         k = min(k, len(pts_p) * len(pts_q))
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
-        result = k_closest_pairs(tree_p, tree_q, k=k, algorithm=algorithm)
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=k, algorithm=algorithm),
+        )
         assert_distances(
             result, brute_force_pairs(pts_p, pts_q, k)
         )
@@ -59,7 +63,9 @@ class TestAgainstBruteForce:
         tree_q = bulk_load(pts_q, config=config)
         for k in (1, 7, 40):
             result = k_closest_pairs(
-                tree_p, tree_q, k=k, algorithm=algorithm
+                tree_p,
+                tree_q,
+                request=CPQRequest(k=k, algorithm=algorithm),
             )
             assert_distances(result, brute_force_pairs(pts_p, pts_q, k))
 
@@ -75,8 +81,13 @@ class TestAgainstBruteForce:
         assert tree_p.height != tree_q.height
         for k in (1, 12):
             result = k_closest_pairs(
-                tree_p, tree_q, k=k, algorithm=algorithm,
-                height_strategy=strategy,
+                tree_p,
+                tree_q,
+                request=CPQRequest(
+                    k=k,
+                    algorithm=algorithm,
+                    height_strategy=strategy,
+                ),
             )
             assert_distances(result, brute_force_pairs(pts_p, pts_q, k))
 
@@ -89,7 +100,9 @@ class TestAgainstBruteForce:
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
         result = k_closest_pairs(
-            tree_p, tree_q, k=10, algorithm=algorithm, tie_break=criterion
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=10, algorithm=algorithm, tie_break=criterion),
         )
         assert_distances(result, brute_force_pairs(pts_p, pts_q, 10))
 
@@ -102,7 +115,9 @@ class TestAgainstBruteForce:
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
         result = k_closest_pairs(
-            tree_p, tree_q, k=5, algorithm=algorithm, metric=metric
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=5, algorithm=algorithm, metric=metric),
         )
         brute = sorted(
             metric.distance(p, q) for p in pts_p for q in pts_q
@@ -120,8 +135,13 @@ class TestMaxMaxPruningModes:
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
         result = k_closest_pairs(
-            tree_p, tree_q, k=25, algorithm=algorithm,
-            maxmax_pruning=pruning,
+            tree_p,
+            tree_q,
+            request=CPQRequest(
+                k=25,
+                algorithm=algorithm,
+                maxmax_pruning=pruning,
+            ),
         )
         assert_distances(result, brute_force_pairs(pts_p, pts_q, 25))
 
@@ -132,10 +152,14 @@ class TestMaxMaxPruningModes:
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
         with_bound = k_closest_pairs(
-            tree_p, tree_q, k=50, algorithm="heap", maxmax_pruning=True
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=50, algorithm="heap", maxmax_pruning=True),
         )
         without = k_closest_pairs(
-            tree_p, tree_q, k=50, algorithm="heap", maxmax_pruning=False
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=50, algorithm="heap", maxmax_pruning=False),
         )
         assert with_bound.distances() == pytest.approx(without.distances())
         assert (
@@ -150,7 +174,11 @@ class TestTiesAndDegeneracy:
         grid = [(float(i), float(j)) for i in range(6) for j in range(6)]
         tree_p = bulk_load(grid)
         tree_q = bulk_load(grid)
-        result = k_closest_pairs(tree_p, tree_q, k=36, algorithm=algorithm)
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=36, algorithm=algorithm),
+        )
         # The 36 closest are the zero-distance coincident pairs.
         assert result.distances() == [0.0] * 36
 
@@ -160,14 +188,22 @@ class TestTiesAndDegeneracy:
         pts_q = [(1.0, 0.0)] * 3
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
-        result = k_closest_pairs(tree_p, tree_q, k=4, algorithm=algorithm)
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=4, algorithm=algorithm),
+        )
         assert_distances(result, [1.0, 1.0, 1.0, 1.0])
 
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
     def test_singletons(self, algorithm):
         tree_p = bulk_load([(0.0, 0.0)])
         tree_q = bulk_load([(3.0, 4.0)])
-        result = k_closest_pairs(tree_p, tree_q, k=1, algorithm=algorithm)
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=1, algorithm=algorithm),
+        )
         assert result.pairs[0].distance == pytest.approx(5.0)
         assert result.pairs[0].p == (0.0, 0.0)
         assert result.pairs[0].q == (3.0, 4.0)
@@ -176,14 +212,22 @@ class TestTiesAndDegeneracy:
     def test_k_exceeding_pair_count(self, algorithm):
         tree_p = bulk_load([(0.0, 0.0), (1.0, 0.0)])
         tree_q = bulk_load([(0.0, 1.0)])
-        result = k_closest_pairs(tree_p, tree_q, k=50, algorithm=algorithm)
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=50, algorithm=algorithm),
+        )
         assert len(result.pairs) == 2
 
     def test_empty_tree(self):
         empty = RTree()
         other = bulk_load([(0.0, 0.0)])
         for algorithm in ALGORITHMS:
-            result = k_closest_pairs(empty, other, k=1, algorithm=algorithm)
+            result = k_closest_pairs(
+                empty,
+                other,
+                request=CPQRequest(k=1, algorithm=algorithm),
+            )
             assert result.pairs == []
         assert closest_pair(empty, other) is None
 
@@ -193,7 +237,11 @@ class TestTiesAndDegeneracy:
         pts_q = [(rng.random(), rng.random()) for __ in range(100)]
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
-        result = k_closest_pairs(tree_p, tree_q, k=5, algorithm="heap")
+        result = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=5, algorithm="heap"),
+        )
         set_p = set(pts_p)
         set_q = set(pts_q)
         for pair in result.pairs:
@@ -216,7 +264,9 @@ class TestAlgorithmsAgree:
         reference = None
         for algorithm in ALGORITHMS:
             got = k_closest_pairs(
-                tree_p, tree_q, k=k, algorithm=algorithm
+                tree_p,
+                tree_q,
+                request=CPQRequest(k=k, algorithm=algorithm),
             ).distances()
             if reference is None:
                 reference = got

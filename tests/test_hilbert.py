@@ -95,7 +95,7 @@ class TestHilbertBulkLoad:
         assert [d for d, __ in found] == pytest.approx(brute, abs=1e-9)
 
     def test_cpq_identical_to_str_tree(self):
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
         from repro.rtree.bulk import bulk_load
 
         rng = random.Random(4)
@@ -103,8 +103,8 @@ class TestHilbertBulkLoad:
         pts_q = [(rng.random(), rng.random()) for __ in range(600)]
         hp, hq = hilbert_bulk_load(pts_p), hilbert_bulk_load(pts_q)
         sp, sq = bulk_load(pts_p), bulk_load(pts_q)
-        hilbert_result = k_closest_pairs(hp, hq, k=12)
-        str_result = k_closest_pairs(sp, sq, k=12)
+        hilbert_result = k_closest_pairs(hp, hq, request=CPQRequest(k=12))
+        str_result = k_closest_pairs(sp, sq, request=CPQRequest(k=12))
         assert hilbert_result.distances() == pytest.approx(
             str_result.distances()
         )
@@ -134,7 +134,7 @@ class TestLinearSplitVariant:
         assert summary.entries == 800
 
     def test_linear_variant_queries_correctly(self):
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
         from repro.rtree.bulk import bulk_load
 
         rng = random.Random(6)
@@ -144,8 +144,12 @@ class TestLinearSplitVariant:
         for oid, point in enumerate(pts_p):
             tree_p.insert(point, oid)
         tree_q = bulk_load(pts_q)
-        result = k_closest_pairs(tree_p, tree_q, k=5)
-        reference = k_closest_pairs(bulk_load(pts_p), tree_q, k=5)
+        result = k_closest_pairs(tree_p, tree_q, request=CPQRequest(k=5))
+        reference = k_closest_pairs(
+            bulk_load(pts_p),
+            tree_q,
+            request=CPQRequest(k=5),
+        )
         assert result.distances() == pytest.approx(reference.distances())
 
     def test_identical_points_split_terminates(self):

@@ -45,14 +45,18 @@ class TestCorrectness:
         assert result.distances() == pytest.approx(expected, abs=1e-9)
 
     def test_agrees_with_non_incremental(self):
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
 
         rng = random.Random(8)
         pts_p = [(rng.random(), rng.random()) for __ in range(200)]
         pts_q = [(rng.random(), rng.random()) for __ in range(200)]
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
-        ours = k_closest_pairs(tree_p, tree_q, k=30, algorithm="heap")
+        ours = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=30, algorithm="heap"),
+        )
         theirs = k_distance_join(tree_p, tree_q, k=30, policy="sml")
         assert theirs.distances() == pytest.approx(
             ours.distances(), abs=1e-9

@@ -34,7 +34,7 @@ class TestCorrectness:
         assert result.distances() == pytest.approx(expected, abs=1e-9)
 
     def test_two_way_chain_equals_pairwise_cpq(self):
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
 
         rng = random.Random(2)
         pts_p = [(rng.random(), rng.random()) for __ in range(120)]
@@ -42,7 +42,11 @@ class TestCorrectness:
         tree_p = bulk_load(pts_p)
         tree_q = bulk_load(pts_q)
         multi = multiway_closest_tuples([tree_p, tree_q], k=8)
-        pairwise = k_closest_pairs(tree_p, tree_q, k=8, algorithm="heap")
+        pairwise = k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=8, algorithm="heap"),
+        )
         assert multi.distances() == pytest.approx(
             pairwise.distances(), abs=1e-9
         )

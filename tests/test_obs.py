@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro import bulk_load, k_closest_pairs
+from repro.core.api import CPQRequest
 from repro.cli import main
 from repro.datasets.io import save_points
 from repro.obs import (
@@ -28,7 +29,8 @@ from repro.obs import (
     render_trace,
     write_trace_jsonl,
 )
-from repro.service import CPQRequest, QueryService
+from repro.service import CPQRequest as ServiceRequest
+from repro.service import QueryService
 
 
 @pytest.fixture(scope="module")
@@ -132,8 +134,10 @@ class TestTracedQuery:
         tree_p, tree_q = trees
         tracer = Tracer()
         result = k_closest_pairs(
-            tree_p, tree_q, k=3, algorithm=algorithm,
-            buffer_pages=32, tracer=tracer,
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=3, algorithm=algorithm, buffer_pages=32),
+            tracer=tracer,
         )
         (trace,) = tracer.pop_traces()
         leaf_reads = sum(
@@ -152,8 +156,10 @@ class TestTracedQuery:
         tree_p, tree_q = trees
         tracer = Tracer()
         k_closest_pairs(
-            tree_p, tree_q, k=2, algorithm="heap",
-            buffer_pages=16, tracer=tracer,
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=2, algorithm="heap", buffer_pages=16),
+            tracer=tracer,
         )
         (trace,) = tracer.pop_traces()
         for label in ("io.p", "io.q"):
@@ -166,7 +172,10 @@ class TestTracedQuery:
         tree_p, tree_q = trees
         tracer = Tracer()
         result = k_closest_pairs(
-            tree_p, tree_q, k=2, algorithm="heap", tracer=tracer,
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=2, algorithm="heap"),
+            tracer=tracer,
         )
         (trace,) = tracer.pop_traces()
         traverse = trace.find("traverse")
@@ -182,7 +191,12 @@ class TestTracedQuery:
     def test_std_annotates_sort_and_ties(self, trees):
         tree_p, tree_q = trees
         tracer = Tracer()
-        k_closest_pairs(tree_p, tree_q, k=2, algorithm="std", tracer=tracer)
+        k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=2, algorithm="std"),
+            tracer=tracer,
+        )
         (trace,) = tracer.pop_traces()
         traverse = trace.find("traverse")
         assert "TieBreak" in traverse.attrs["tie_break"]
@@ -208,7 +222,11 @@ class TestNoopTracer:
                             for __ in range(100)])
         tree_q = bulk_load([(rng.random(), rng.random())
                             for __ in range(100)])
-        k_closest_pairs(tree_p, tree_q, k=1, algorithm="heap")
+        k_closest_pairs(
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=1, algorithm="heap"),
+        )
         assert tree_p.file.buffer.on_read is None
         assert tree_q.file.buffer.on_read is None
 
@@ -217,10 +235,14 @@ class TestNoopTracer:
     ):
         tree_p, tree_q = trees
         plain = k_closest_pairs(
-            tree_p, tree_q, k=5, algorithm="std", buffer_pages=32
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=5, algorithm="std", buffer_pages=32),
         )
         traced = k_closest_pairs(
-            tree_p, tree_q, k=5, algorithm="std", buffer_pages=32,
+            tree_p,
+            tree_q,
+            request=CPQRequest(k=5, algorithm="std", buffer_pages=32),
             tracer=Tracer(),
         )
         assert plain.pairs == traced.pairs
@@ -311,9 +333,9 @@ class TestServiceTracing:
         tracer = Tracer()
         with QueryService(workers=1, tracer=tracer) as service:
             service.register_pair("default", tree_p, tree_q)
-            response = service.execute(CPQRequest(pair="default", k=2))
+            response = service.execute(ServiceRequest(pair="default", k=2))
             assert response.ok
-            cached = service.execute(CPQRequest(pair="default", k=2))
+            cached = service.execute(ServiceRequest(pair="default", k=2))
             assert cached.cached
             snapshot = service.snapshot()
         first, second = tracer.pop_traces()
@@ -333,7 +355,7 @@ class TestServiceTracing:
         tree_p, tree_q = trees
         with QueryService(workers=1) as service:
             service.register_pair("default", tree_p, tree_q)
-            assert service.execute(CPQRequest(pair="default", k=1)).ok
+            assert service.execute(ServiceRequest(pair="default", k=1)).ok
             snapshot = service.snapshot()
         assert snapshot["spans"] == {}
 

@@ -68,15 +68,12 @@ class TestCPQRequest:
         with pytest.raises(ValueError, match=match):
             CPQRequest(**kwargs)
 
-    def test_request_overrides_kwargs(self, trees):
-        # When a request is supplied it is authoritative; the classic
-        # keywords are ignored.
-        result = k_closest_pairs(
-            *trees, k=50, algorithm="naive",
-            request=CPQRequest(k=3, algorithm="exh"),
-        )
-        assert result.algorithm == "EXH"
-        assert len(result.pairs) == 3
+    def test_classic_keywords_removed(self, trees):
+        # The historical ``k_closest_pairs(.., k=, algorithm=)`` shim
+        # finished its deprecation cycle; the knobs live on the
+        # request object only.
+        with pytest.raises(TypeError):
+            k_closest_pairs(*trees, k=50, algorithm="naive")
 
     def test_deadline_raises(self, trees):
         request = CPQRequest(k=10, deadline_ms=1e-6)
@@ -127,6 +124,7 @@ class TestRegistry:
         assert ALGORITHMS[:5] == ("naive", "exh", "sim", "std", "heap")
         assert set(ALGORITHMS) == {
             "naive", "exh", "sim", "std", "heap",
+            "clipped", "rcp",
             "self", "semi", "multiway", "incremental",
         }
         for name, spec in ALGORITHM_REGISTRY.items():
@@ -141,8 +139,15 @@ class TestRegistry:
         for name in ("naive", "exh", "sim", "std", "heap"):
             spec = ALGORITHM_REGISTRY[name]
             assert spec.supports_parallel
+            assert spec.supports_range and spec.supports_colors
             assert not (spec.self_join or spec.semi or spec.multiway
                         or spec.incremental)
+        for name in ("clipped", "rcp"):
+            spec = ALGORITHM_REGISTRY[name]
+            assert spec.specialized and not spec.plannable
+            assert spec.supports_range and spec.supports_colors
+        assert ALGORITHM_REGISTRY["clipped"].supports_parallel
+        assert not ALGORITHM_REGISTRY["rcp"].supports_parallel
         assert ALGORITHM_REGISTRY["self"].self_join
         assert ALGORITHM_REGISTRY["semi"].semi
         assert ALGORITHM_REGISTRY["multiway"].multiway

@@ -211,14 +211,14 @@ class TestStatsMisuse:
         # queries (fresh K-heap, fresh bounds).
         import random
 
-        from repro.core import k_closest_pairs
+        from repro.core import CPQRequest, k_closest_pairs
         from repro.rtree.bulk import bulk_load
 
         rng = random.Random(3)
         pts = [(rng.random(), rng.random()) for __ in range(300)]
         tree_p = bulk_load(pts)
         tree_q = bulk_load(pts)
-        first = k_closest_pairs(tree_p, tree_q, k=7).distances()
+        first = k_closest_pairs(tree_p, tree_q, request=CPQRequest(k=7)).distances()
         for __ in range(3):
-            again = k_closest_pairs(tree_p, tree_q, k=7).distances()
+            again = k_closest_pairs(tree_p, tree_q, request=CPQRequest(k=7)).distances()
             assert again == first

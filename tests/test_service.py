@@ -11,6 +11,7 @@ import pytest
 
 from repro.analysis.cost_model import TreeShape
 from repro.core import k_closest_pairs
+from repro.core.api import CPQRequest as CoreRequest
 from repro.datasets.workspace import Workspace
 from repro.rtree.bulk import bulk_load
 from repro.service import (
@@ -282,8 +283,11 @@ class TestService:
             assert response.status == STATUS_OK
             assert response.algorithm in ("naive", "exh", "sim",
                                           "std", "heap")
-            direct = k_closest_pairs(tree_p, tree_q, k=7,
-                                     algorithm="heap")
+            direct = k_closest_pairs(
+                tree_p,
+                tree_q,
+                request=CoreRequest(k=7, algorithm="heap"),
+            )
             assert response.result.distances() == pytest.approx(
                 direct.distances()
             )
@@ -426,8 +430,11 @@ class TestDeadlines:
                 assert len(tree.file.buffer) <= tree.file.buffer.capacity
             retry = service.execute(CPQRequest(pair="pair", k=3))
             assert retry.status == STATUS_OK
-            direct = k_closest_pairs(tree_p, tree_q, k=3,
-                                     algorithm="heap")
+            direct = k_closest_pairs(
+                tree_p,
+                tree_q,
+                request=CoreRequest(k=3, algorithm="heap"),
+            )
             assert retry.result.distances() == pytest.approx(
                 direct.distances()
             )

@@ -14,6 +14,7 @@ import threading
 import pytest
 
 from repro.core import k_closest_pairs
+from repro.core.api import CPQRequest as CoreRequest
 from repro.query import nearest_neighbors
 from repro.rtree.bulk import bulk_load
 from repro.service import (
@@ -69,8 +70,11 @@ def serial_ground_truth(specs, points_p, points_q, tree_p, tree_q):
     expected = []
     for kind, request in specs:
         if kind == "cpq":
-            result = k_closest_pairs(tree_p, tree_q, k=request.k,
-                                     algorithm="heap")
+            result = k_closest_pairs(
+                tree_p,
+                tree_q,
+                request=CoreRequest(k=request.k, algorithm="heap"),
+            )
             expected.append(result.distances())
         elif kind == "knn":
             found = nearest_neighbors(tree_p, request.point,

@@ -220,7 +220,7 @@ class TestResponseRoundTrip:
 
     def test_wrong_version_rejected(self):
         with pytest.raises(wire.WireError, match="version"):
-            wire.decode_response({"v": 2, "status": "ok", "kind": "cpq"})
+            wire.decode_response({"v": 99, "status": "ok", "kind": "cpq"})
 
     def test_envelope_missing_kind_rejected(self):
         with pytest.raises(wire.WireError, match="bad response"):

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Markdown link checker and docstring gate for the docs CI job.
+"""Markdown link checker, docstring and capability-table gate.
 
 Verifies every relative markdown link -- ``[text](path)``,
 ``[text](path#anchor)`` and bare reference-style definitions -- against
@@ -19,7 +19,17 @@ fails on any module or public class (name not starting with ``_``)
 without a docstring -- the enforcement teeth behind the
 ``repro.storage`` docstring pass; see ``docs/STORAGE.md``.
 
-Exits 1 listing every broken link / missing docstring, 0 when clean.
+When ``docs/API.md`` is among the checked files, its query-family
+capability table (the one whose header names ``supports_range`` /
+``supports_colors``) is additionally compared against the
+``AlgorithmSpec`` literals of ``src/repro/core/api.py`` -- parsed from
+the source text, so the check needs no installed package and no
+third-party imports.  Every registered algorithm must have a row, no
+row may name an unregistered algorithm, and every checkmark must match
+the registry flag.
+
+Exits 1 listing every broken link / missing docstring / stale
+capability row, 0 when clean.
 
 Usage::
 
@@ -153,6 +163,122 @@ def check_docstrings(target: str) -> List[str]:
     return errors
 
 
+#: Flags the docs/API.md capability table documents, in column order.
+_CAPABILITY_FLAGS = ("supports_range", "supports_colors")
+#: Cell spellings accepted as True / False in the capability table.
+_TRUE_CELLS = frozenset({"✓", "✔", "yes", "true"})
+_FALSE_CELLS = frozenset({"—", "–", "-", "no", "false", ""})
+
+
+def registry_capabilities(api_path: str) -> dict:
+    """``name -> {flag: bool}`` from the ``AlgorithmSpec(...)`` literals.
+
+    Parses the source with :mod:`ast` instead of importing it, so the
+    docs job needs neither an installed package nor numpy.  Only
+    constant keyword values are considered, which every registry entry
+    satisfies by construction (name and flags are literals).
+    """
+    with open(api_path, encoding="utf-8") as handle:
+        module = ast.parse(handle.read(), filename=api_path)
+    capabilities = {}
+    for node in ast.walk(module):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "AlgorithmSpec"):
+            continue
+        fields = {
+            keyword.arg: keyword.value.value
+            for keyword in node.keywords
+            if keyword.arg and isinstance(keyword.value, ast.Constant)
+        }
+        name = fields.get("name")
+        if isinstance(name, str):
+            capabilities[name] = {
+                flag: bool(fields.get(flag, False))
+                for flag in _CAPABILITY_FLAGS
+            }
+    return capabilities
+
+
+def _parse_flag_cell(cell: str):
+    cell = cell.strip().strip("`").lower()
+    if cell in _TRUE_CELLS:
+        return True
+    if cell in _FALSE_CELLS:
+        return False
+    return None
+
+
+def doc_capability_table(doc_path: str) -> dict:
+    """``name -> ({flag: bool}, line_no)`` from the markdown table.
+
+    The table is recognised by a header row naming every flag of
+    ``_CAPABILITY_FLAGS``; rows end at the first non-table line.
+    """
+    rows = {}
+    columns = None
+    with open(doc_path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped.startswith("|"):
+                if columns is not None and rows:
+                    break
+                columns = None
+                continue
+            cells = [c.strip() for c in stripped.strip("|").split("|")]
+            if columns is None:
+                header = [c.strip().strip("`").lower() for c in cells]
+                if all(flag in header for flag in _CAPABILITY_FLAGS):
+                    columns = {
+                        flag: header.index(flag)
+                        for flag in _CAPABILITY_FLAGS
+                    }
+                continue
+            if set(cells[0]) <= {"-", ":"}:
+                continue  # the |---|:-:| separator row
+            name = cells[0].strip("`")
+            flags = {}
+            for flag, index in columns.items():
+                value = (_parse_flag_cell(cells[index])
+                         if index < len(cells) else None)
+                flags[flag] = value
+            rows[name] = (flags, line_no)
+    return rows
+
+
+def check_capability_table(doc_path: str, api_path: str) -> List[str]:
+    """Mismatches between the doc table and the registry literals."""
+    registry = registry_capabilities(api_path)
+    if not registry:
+        return [f"{api_path}: no AlgorithmSpec literals found "
+                f"(capability check cannot run)"]
+    table = doc_capability_table(doc_path)
+    if not table:
+        return [f"{doc_path}: no capability table found (expected a "
+                f"header row naming {' and '.join(_CAPABILITY_FLAGS)})"]
+    errors = []
+    for name in registry:
+        if name not in table:
+            errors.append(f"{doc_path}: capability table misses "
+                          f"registered algorithm {name!r}")
+    for name, (flags, line_no) in table.items():
+        where = f"{doc_path}:{line_no}"
+        if name not in registry:
+            errors.append(f"{where}: capability table row {name!r} "
+                          f"names no registered algorithm")
+            continue
+        for flag, value in flags.items():
+            if value is None:
+                errors.append(f"{where}: unreadable {flag} cell "
+                              f"for {name!r}")
+            elif value != registry[name][flag]:
+                errors.append(
+                    f"{where}: {name!r} documents {flag}={value} "
+                    f"but the registry says {registry[name][flag]}"
+                )
+    return errors
+
+
 def main(argv: List[str]) -> int:
     targets: List[str] = []
     docstring_targets: List[str] = []
@@ -165,9 +291,20 @@ def main(argv: List[str]) -> int:
     targets = targets or ["README.md", "docs"]
     checked = 0
     errors: List[str] = []
+    api_doc = None
     for path in markdown_files(targets):
         checked += 1
         errors.extend(check_file(path))
+        if os.path.basename(path) == "API.md":
+            api_doc = path
+    if api_doc is not None:
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        api_source = os.path.join(repo_root, "src", "repro", "core",
+                                  "api.py")
+        if os.path.exists(api_source):
+            errors.extend(check_capability_table(api_doc, api_source))
     py_checked = 0
     for target in docstring_targets:
         if not target:
