@@ -445,3 +445,141 @@ def estimate_parallel_speedup(
     serial = min(partition_accesses, accesses)
     parallel = max(accesses - serial, 0.0)
     return accesses / (serial + parallel / workers)
+
+
+# ---------------------------------------------------------------------------
+# Index-kind recommendation (the catalog's planner dimension)
+# ---------------------------------------------------------------------------
+
+#: Index kinds the catalog can build and the planner chooses between.
+#: ``str`` = Sort-Tile-Recursive packed (repro.rtree.bulk), ``grid`` =
+#: uniform-grid packed (repro.rtree.grid), ``dynamic`` = one-at-a-time
+#: R* insertion (updatable in place).
+INDEX_KINDS = ("str", "grid", "dynamic")
+
+#: Coefficient of variation of grid-cell occupancy above which data
+#: counts as skewed: uniform points at ~one leaf per cell sit well
+#: below (Poisson counts give CV ~ 1/sqrt(occupancy)), clustered real
+#: data (SEQUOIA-like) sits well above.
+DEFAULT_GRID_SKEW_THRESHOLD = 0.75
+
+
+@dataclass(frozen=True)
+class IndexKindDecision:
+    """One index-kind verdict, with the evidence it was based on."""
+
+    kind: str
+    reason: str
+    #: Occupancy CV of the probe grid (NaN when not computed).
+    skew: float
+    #: Point count the decision describes.
+    n: int
+    #: Query-window selectivity the decision accounted for (None for
+    #: unconstrained workloads).
+    selectivity: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "reason": self.reason,
+            "skew": round(self.skew, 4) if self.skew == self.skew
+            else None,
+            "n": self.n,
+        }
+        if self.selectivity is not None:
+            out["selectivity"] = round(self.selectivity, 4)
+        return out
+
+
+def grid_occupancy_cv(
+    points, cells_per_axis: Optional[int] = None, dimension: int = 2
+) -> float:
+    """Skew statistic: coefficient of variation of grid occupancy.
+
+    Overlays a ``cells_per_axis``-per-axis uniform grid on the points'
+    bounding box and returns ``std / mean`` of the per-cell counts
+    over **all** cells of the box (empty ones included -- emptiness is
+    exactly what clustering produces).  Uniform data at a few points
+    per cell scores well under 1; clustered data scores above, growing
+    with the clustering.  The default resolution targets ~8 expected
+    points per cell so the Poisson noise floor (``1/sqrt(8)`` ~ 0.35)
+    stays clearly below :data:`DEFAULT_GRID_SKEW_THRESHOLD`.
+    """
+    n = len(points)
+    if n == 0:
+        return float("nan")
+    if cells_per_axis is None:
+        cells_per_axis = max(
+            2, int(round((n / 8.0) ** (1.0 / dimension)))
+        )
+    from repro.rtree.grid import grid_occupancy
+
+    counts = grid_occupancy(points, cells_per_axis, dimension=dimension)
+    total_cells = cells_per_axis ** dimension
+    mean = n / total_cells
+    if mean <= 0:
+        return float("nan")
+    sum_sq = sum(c * c for c in counts.values())
+    variance = sum_sq / total_cells - mean * mean
+    if variance < 0.0:
+        variance = 0.0
+    return math.sqrt(variance) / mean
+
+
+def recommend_index_kind(
+    n: int,
+    skew: float,
+    mutable: bool = False,
+    selectivity: Optional[float] = None,
+    skew_threshold: float = DEFAULT_GRID_SKEW_THRESHOLD,
+    selectivity_threshold: float = 0.05,
+) -> IndexKindDecision:
+    """Pick an index kind for a dataset's shape and workload.
+
+    The policy mirrors what ``benchmarks/bench_catalog.py`` measures:
+
+    * a **mutable** dataset needs ``dynamic`` -- packed indexes are
+      read-optimised snapshots that would need a rebuild per batch;
+    * **low skew** (uniform-ish data) -> ``grid``: one arithmetic pass
+      builds leaves as tight as STR's;
+    * **skewed** data -> ``str``: sort-tile recursion adapts tile
+      boundaries to the data, where a uniform grid leaves elongated,
+      overlapping leaves;
+    * a tight expected query window (``selectivity`` at most
+      ``selectivity_threshold``) also prefers ``str`` -- clipped
+      traversals prune best against data-partitioned MBRs.
+    """
+    if mutable:
+        return IndexKindDecision(
+            kind="dynamic",
+            reason="dataset takes live mutation; packed indexes are "
+                   "read-only snapshots needing a rebuild per batch",
+            skew=skew, n=n, selectivity=selectivity,
+        )
+    if selectivity is not None and selectivity <= selectivity_threshold:
+        return IndexKindDecision(
+            kind="str",
+            reason=f"expected query windows cover ~{selectivity:.1%} "
+                   f"of the workspace (<= {selectivity_threshold:.0%}); "
+                   f"data-partitioned STR leaves prune tight windows "
+                   f"best",
+            skew=skew, n=n, selectivity=selectivity,
+        )
+    if skew == skew and skew <= skew_threshold:  # NaN-safe
+        return IndexKindDecision(
+            kind="grid",
+            reason=f"grid-occupancy CV {skew:.2f} <= "
+                   f"{skew_threshold:g}: near-uniform data packs into "
+                   f"tight grid leaves in one arithmetic pass",
+            skew=skew, n=n, selectivity=selectivity,
+        )
+    return IndexKindDecision(
+        kind="str",
+        reason=(
+            f"grid-occupancy CV {skew:.2f} > {skew_threshold:g}: "
+            f"skewed data needs sort-tile leaf boundaries"
+            if skew == skew else
+            "no skew statistic available; STR is the safe default"
+        ),
+        skew=skew, n=n, selectivity=selectivity,
+    )

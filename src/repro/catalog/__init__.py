@@ -1,0 +1,33 @@
+"""Persisted dataset catalog: named datasets, built indexes, one
+``open_dataset`` API.
+
+ROADMAP item 5's front door.  A :class:`Catalog` maps names to built
+indexes (STR-packed, grid-packed, or dynamic R*-trees -- see
+``docs/CATALOG.md``), and :func:`open_tree` is the single reopen path
+every layer (CLI, service, shards) goes through.  CPQL queries
+(:mod:`repro.query.cpql`) resolve their ``FROM`` clauses against a
+catalog.
+"""
+
+from repro.catalog.core import (
+    CATALOG_FILENAME,
+    Catalog,
+    DatasetEntry,
+    IndexEntry,
+    SCHEMA_VERSION,
+    meta_path,
+    open_tree,
+)
+from repro.errors import CatalogError, UnknownDatasetError
+
+__all__ = [
+    "CATALOG_FILENAME",
+    "Catalog",
+    "CatalogError",
+    "DatasetEntry",
+    "IndexEntry",
+    "SCHEMA_VERSION",
+    "UnknownDatasetError",
+    "meta_path",
+    "open_tree",
+]

@@ -12,16 +12,25 @@ The subcommands cover the library's workflow end to end::
     repro-cpq explain sites.npy q.npy --k 10 --buffer 64
     repro-cpq batch sites.npy q.npy requests.jsonl --workers 8
     repro-cpq serve sites.npy q.npy --deadline-ms 50 < requests.jsonl
+    repro-cpq catalog register parks parks.npy --catalog data/
+    repro-cpq sql "SELECT CLOSEST PAIRS K 10 FROM parks, schools" \
+        --catalog data/
     repro-cpq figure fig04 --quick
 
-``query`` accepts either raw point files (trees are built in memory)
-or page files produced by ``build``.  ``explain`` runs the same query
-traced (:mod:`repro.obs`) and prints the span tree.  ``batch`` and
-``serve`` run JSONL request streams through the concurrent query
-service (:mod:`repro.service`); both emit one JSON response per
-request plus a serve-stats metrics snapshot, and ``--trace out.jsonl``
-records every request's spans.  Also runnable as ``python -m repro
-...``.
+``catalog`` maintains a persisted dataset catalog
+(:mod:`repro.catalog`): named datasets with one or more built indexes
+(STR-packed, grid-packed, dynamic).  ``query``, ``explain`` and
+``serve-net`` accept catalog names wherever they accept files when
+``--catalog`` is given; raw path arguments still work one release
+longer but warn with ``DeprecationWarning`` and are routed through the
+same catalog machinery.  ``sql`` runs CPQL statements
+(:mod:`repro.query.cpql`) against a catalog, in-process or against a
+``serve-net`` endpoint.  ``explain`` runs the same query traced
+(:mod:`repro.obs`) and prints the span tree.  ``batch`` and ``serve``
+run JSONL request streams through the concurrent query service
+(:mod:`repro.service`); both emit one JSON response per request plus a
+serve-stats metrics snapshot, and ``--trace out.jsonl`` records every
+request's spans.  Also runnable as ``python -m repro ...``.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import argparse
 import json
 import os
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.core.api import ALGORITHMS, CPQRequest, k_closest_pairs
@@ -56,14 +66,68 @@ def _wal_path(tree_path: str) -> str:
 
 
 def _load_tree(path: str, use_mmap: bool = False) -> RTree:
-    """Open a tree from a .pages file, or build one from a points file."""
+    """Open a tree from a .pages file, or build one from a points file.
+
+    ``.pages`` inputs reopen through the catalog's
+    :func:`repro.catalog.open_tree` -- the same single reopen path the
+    service and the shard workers use.
+    """
     if path.endswith(".pages"):
-        with open(_meta_path(path)) as handle:
-            metadata = json.load(handle)
-        store = FilePageStore(path, metadata["page_size"],
-                              use_mmap=use_mmap)
-        return RTree.from_storage(PagedFile(store), metadata)
+        from repro.catalog import open_tree
+
+        return open_tree(path, use_mmap=use_mmap)
     return bulk_load(load_points(path))
+
+
+def _get_catalog(args: argparse.Namespace):
+    """The ``--catalog`` flag as a loaded :class:`Catalog`, or None."""
+    path = getattr(args, "catalog", None)
+    if path is None:
+        return None
+    from repro.catalog import Catalog
+
+    return Catalog(path)
+
+
+def _deprecate_path_arg(ref: str) -> None:
+    warnings.warn(
+        f"raw path inputs like {ref!r} are deprecated; register the "
+        f"dataset in a catalog (repro-cpq catalog register) and pass "
+        f"its name with --catalog.  Path arguments will be removed "
+        f"one release from now.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _open_input(
+    ref: str, catalog, *, use_mmap: bool = False, warn_paths: bool = True
+) -> RTree:
+    """Resolve one dataset input: catalog name, ``.pages``, or points.
+
+    Catalog names win; path arguments (deprecated on the commands that
+    pass ``warn_paths=True``) route through the same catalog machinery
+    -- a ``.pages`` file is adopted into an in-memory catalog entry
+    and opened with :meth:`~repro.catalog.Catalog.open_dataset`, so
+    flag handling cannot diverge from named datasets.
+    """
+    from repro.catalog import Catalog
+    from repro.errors import UnknownDatasetError
+
+    if catalog is not None and ref in catalog:
+        return catalog.open_dataset(ref, use_mmap=use_mmap or None)
+    if not os.path.exists(ref):
+        if catalog is not None:
+            raise UnknownDatasetError(ref, tuple(catalog.names()))
+        raise FileNotFoundError(f"no such input: {ref}")
+    if warn_paths:
+        _deprecate_path_arg(ref)
+    if ref.endswith(".pages"):
+        scratch = Catalog(ref + ".catalog.json")
+        scratch.adopt_pages("_adopted", ref, use_mmap=use_mmap,
+                            persist=False)
+        return scratch.open_dataset("_adopted")
+    return bulk_load(load_points(ref))
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -302,10 +366,15 @@ def _constraints_from_args(args: argparse.Namespace):
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.errors import UnsupportedCapabilityError
+    from repro.errors import CatalogError, UnsupportedCapabilityError
 
-    tree_p = _load_tree(args.left, use_mmap=args.mmap)
-    tree_q = _load_tree(args.right, use_mmap=args.mmap)
+    try:
+        catalog = _get_catalog(args)
+        tree_p = _open_input(args.left, catalog, use_mmap=args.mmap)
+        tree_q = _open_input(args.right, catalog, use_mmap=args.mmap)
+    except (CatalogError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         range_spec, color_spec = _constraints_from_args(args)
         request = CPQRequest(
@@ -358,12 +427,17 @@ def cmd_explain(args: argparse.Namespace) -> int:
     the cost-model planner and shows its evidence.
     """
     from repro.analysis.cost_model import TreeShape
-    from repro.errors import UnsupportedCapabilityError
+    from repro.errors import CatalogError, UnsupportedCapabilityError
     from repro.obs import Tracer, render_trace, write_trace_jsonl
     from repro.service.planner import Planner
 
-    tree_p = _load_tree(args.left)
-    tree_q = _load_tree(args.right)
+    try:
+        catalog = _get_catalog(args)
+        tree_p = _open_input(args.left, catalog)
+        tree_q = _open_input(args.right, catalog)
+    except (CatalogError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         range_spec, color_spec = _constraints_from_args(args)
     except ValueError as exc:
@@ -672,25 +746,57 @@ def cmd_serve_net(args: argparse.Namespace) -> int:
     import tempfile
     import time as time_mod
 
+    from repro.errors import CatalogError
     from repro.net import NetServer, ShardManager, tree_spec
     from repro.net.shard import TreeSpec
     from repro.service import QueryService
 
-    scratch = tempfile.mkdtemp(prefix="repro-serve-net-")
-    tree_p = _file_backed_tree(args.left, scratch, "p")
-    tree_q = _file_backed_tree(args.right, scratch, "q")
-    specs = []
-    for tree in (tree_p, tree_q):
-        spec = tree_spec(tree)
-        specs.append(TreeSpec(
-            spec.path, spec.page_size, spec.metadata,
-            buffer_capacity=args.shard_buffer,
-            read_latency=args.shard_read_latency_ms / 1000.0,
-        ))
+    catalog = _get_catalog(args)
+    pair = args.pair
+    read_latency = args.shard_read_latency_ms / 1000.0
+    if (catalog is not None
+            and args.left in catalog and args.right in catalog):
+        # Catalog mode: shard specs come straight from the entries --
+        # page path, snapshot generation, mmap/legacy flags included.
+        try:
+            specs = [
+                catalog.tree_spec(
+                    name,
+                    buffer_capacity=args.shard_buffer,
+                    read_latency=read_latency,
+                )
+                for name in (args.left, args.right)
+            ]
+        except CatalogError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if pair == "default":
+            # CPQL derives pair names as "left,right"; match it so
+            # SQL queries route through the shard tier.
+            pair = f"{args.left},{args.right}"
+    else:
+        if catalog is not None and not (
+            os.path.exists(args.left) and os.path.exists(args.right)
+        ):
+            known = ", ".join(catalog.names()) or "(empty catalog)"
+            print(f"error: inputs are neither registered datasets nor "
+                  f"files; catalog knows: {known}", file=sys.stderr)
+            return 2
+        _deprecate_path_arg(args.left)
+        scratch = tempfile.mkdtemp(prefix="repro-serve-net-")
+        specs = []
+        for name, path in (("p", args.left), ("q", args.right)):
+            tree = _file_backed_tree(path, scratch, name)
+            spec = tree_spec(tree)
+            specs.append(TreeSpec(
+                spec.path, spec.page_size, spec.metadata,
+                buffer_capacity=args.shard_buffer,
+                read_latency=read_latency,
+            ))
     manager = ShardManager(
         specs[0], specs[1],
         shards=args.shards,
-        pair=args.pair,
+        pair=pair,
         on_failure=args.on_failure,
     )
     service = QueryService(
@@ -700,7 +806,11 @@ def cmd_serve_net(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         cpq_executor=manager.service_executor(),
     )
-    service.register_pair(args.pair, manager.tree_p, manager.tree_q)
+    service.register_pair(pair, manager.tree_p, manager.tree_q)
+    if catalog is not None:
+        # /v1/sql statements addressing other catalog datasets resolve
+        # in-process; the sharded pair keeps its scatter-gather path.
+        service.attach_catalog(catalog)
     server = NetServer(
         service, host=args.host, port=args.port, manager=manager,
     ).start_in_thread()
@@ -710,7 +820,7 @@ def cmd_serve_net(args: argparse.Namespace) -> int:
         "host": args.host,
         "port": server.port,
         "shards": args.shards,
-        "pair": args.pair,
+        "pair": pair,
         "on_failure": args.on_failure,
     }), flush=True)
     try:
@@ -870,6 +980,193 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _print_cpq_response(response, as_json: bool) -> int:
+    """Render one service QueryResponse for the ``sql`` command."""
+    from repro.service import STATUS_BAD_REQUEST
+
+    if as_json:
+        print(json.dumps(_response_json(response)))
+        if response.status == STATUS_BAD_REQUEST:
+            return EXIT_UNSUPPORTED_CAPABILITY
+        return 0 if response.ok else 1
+    if response.status == STATUS_BAD_REQUEST:
+        print(f"error: {response.error}", file=sys.stderr)
+        return EXIT_UNSUPPORTED_CAPABILITY
+    if not response.ok:
+        print(f"error: {response.status}: {response.error}",
+              file=sys.stderr)
+        return 1
+    for rank, pair in enumerate(response.result.pairs, start=1):
+        print(f"{rank:4d}  {pair.p}  {pair.q}  {pair.distance:.9f}")
+    stats = response.result.stats
+    print(f"# {response.result.algorithm}: "
+          f"{stats.disk_accesses} disk accesses, "
+          f"{stats.node_pairs_visited} node pairs, "
+          f"{stats.distance_computations} distance computations"
+          f"{' (cached)' if response.cached else ''}")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """Run one CPQL statement against a catalog or a serve-net edge.
+
+    Exit codes follow ``query``: 0 ok, 2 bad statement / unknown
+    dataset, 3 capability mismatch, 1 runtime failure.
+    """
+    from repro.errors import CatalogError, CPQLError
+    from repro.query.cpql import parse_cpql
+
+    statement = args.query
+    if statement == "-":
+        statement = sys.stdin.read()
+    try:
+        parsed = parse_cpql(statement)
+    except CPQLError as exc:
+        print(f"error: CPQL: {exc}", file=sys.stderr)
+        if exc.source:
+            print(exc.caret(), file=sys.stderr)
+        return 2
+
+    if args.port is not None:
+        from repro.net import NetClient, WireError
+
+        with NetClient(args.host, args.port) as client:
+            try:
+                response = client.sql(
+                    statement,
+                    deadline_ms=args.deadline_ms,
+                    use_cache=not args.no_cache,
+                )
+            except WireError as exc:
+                # The edge's 400: CPQL position info or unknown
+                # dataset hint travels in the message.
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        return _print_cpq_response(response, args.json)
+
+    if args.catalog is None:
+        print("sql: --catalog DIR (or --port against a serve-net "
+              "endpoint) is required", file=sys.stderr)
+        return 2
+    from repro.service import QueryService
+
+    try:
+        catalog = _get_catalog(args)
+    except CatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = QueryService(
+        workers=args.workers,
+        cache_size=0 if args.no_cache else 128,
+    )
+    service.attach_catalog(
+        catalog, kind=args.kind, buffer_capacity=args.buffer,
+    )
+    try:
+        response = service.execute_sql(
+            parsed, deadline_ms=args.deadline_ms,
+            use_cache=not args.no_cache,
+        )
+    except CatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    return _print_cpq_response(response, args.json)
+
+
+def cmd_catalog_register(args: argparse.Namespace) -> int:
+    from repro.catalog import Catalog
+    from repro.errors import CatalogError
+
+    points = load_points(args.points)
+    catalog = Catalog(args.catalog)
+    try:
+        entry = catalog.register_dataset(
+            args.name,
+            points,
+            kind=args.kind,
+            extra_kinds=tuple(
+                k for k in (args.extra_kinds or "").split(",") if k
+            ),
+            page_size=args.page_size,
+            source=args.points,
+            overwrite=args.overwrite,
+            use_mmap=args.mmap,
+        )
+    except CatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    built = entry.index(entry.default_kind)
+    line = (f"registered {args.name!r}: {entry.count} points, "
+            f"kinds [{', '.join(entry.kinds())}], default "
+            f"{entry.default_kind} -> {catalog.path}")
+    decision = built.build.get("decision")
+    if decision is not None:
+        line += f"\n# planner: {decision['reason']}"
+    print(line)
+    return 0
+
+
+def cmd_catalog_list(args: argparse.Namespace) -> int:
+    catalog = _get_catalog(args)
+    if len(catalog) == 0:
+        print(f"# empty catalog at {catalog.path}")
+        return 0
+    for name in catalog.names():
+        entry = catalog.dataset(name)
+        kinds = ", ".join(
+            f"{kind}*" if kind == entry.default_kind else kind
+            for kind in entry.kinds()
+        )
+        print(f"{name:20s} {entry.count:8d} points  dim "
+              f"{entry.dimension}  [{kinds}]")
+    return 0
+
+
+def cmd_catalog_info(args: argparse.Namespace) -> int:
+    from repro.errors import CatalogError
+
+    catalog = _get_catalog(args)
+    try:
+        entry = catalog.dataset(args.name)
+    except CatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"dataset: {entry.name}")
+    print(f"  points:    {entry.count}")
+    print(f"  dimension: {entry.dimension}")
+    print(f"  default:   {entry.default_kind}")
+    if entry.source:
+        print(f"  source:    {entry.source}")
+    for kind in entry.kinds():
+        index = entry.indexes[kind]
+        print(f"  [{kind}] {os.path.relpath(index.path, catalog.base_dir)}"
+              f"  page_size={index.page_size}"
+              f"  generation={index.generation}"
+              f"  mmap={index.use_mmap}")
+        for key in ("height", "nodes", "build_s"):
+            if key in index.build:
+                print(f"        {key}: {index.build[key]}")
+        decision = index.build.get("decision")
+        if decision is not None:
+            print(f"        planner: {decision['reason']}")
+    return 0
+
+
+def cmd_catalog_remove(args: argparse.Namespace) -> int:
+    from repro.errors import CatalogError
+
+    catalog = _get_catalog(args)
+    try:
+        catalog.remove_dataset(args.name, delete_files=args.delete_files)
+    except CatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"removed {args.name!r} from {catalog.path}")
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments import run_figure
 
@@ -991,8 +1288,15 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser(
         "query", help="run a K closest pairs query"
     )
-    query.add_argument("left", help="points file or .pages tree")
-    query.add_argument("right", help="points file or .pages tree")
+    query.add_argument("left",
+                       help="catalog dataset name (with --catalog), or "
+                            "points file / .pages tree (deprecated)")
+    query.add_argument("right",
+                       help="catalog dataset name (with --catalog), or "
+                            "points file / .pages tree (deprecated)")
+    query.add_argument("--catalog", default=None,
+                       help="dataset catalog (dir or catalog.json) to "
+                            "resolve names against")
     query.add_argument("--k", type=int, default=1)
     query.add_argument("--algorithm", choices=ALGORITHMS, default="heap")
     query.add_argument("--buffer", type=int, default=0,
@@ -1012,8 +1316,17 @@ def build_parser() -> argparse.ArgumentParser:
         "explain",
         help="run a K-CPQ traced and print the EXPLAIN-style span tree",
     )
-    explain.add_argument("left", help="points file or .pages tree")
-    explain.add_argument("right", help="points file or .pages tree")
+    explain.add_argument("left",
+                         help="catalog dataset name (with --catalog), "
+                              "or points file / .pages tree "
+                              "(deprecated)")
+    explain.add_argument("right",
+                         help="catalog dataset name (with --catalog), "
+                              "or points file / .pages tree "
+                              "(deprecated)")
+    explain.add_argument("--catalog", default=None,
+                         help="dataset catalog (dir or catalog.json) "
+                              "to resolve names against")
     explain.add_argument("--k", type=int, default=1)
     explain.add_argument("--algorithm",
                          choices=("auto",) + tuple(ALGORITHMS),
@@ -1105,9 +1418,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the HTTP/JSON network tier over spatial shards",
     )
     serve_net.add_argument("left",
-                           help="points file or .pages tree (P)")
+                           help="catalog dataset name (with --catalog),"
+                                " or points file / .pages tree (P, "
+                                "deprecated)")
     serve_net.add_argument("right",
-                           help="points file or .pages tree (Q)")
+                           help="catalog dataset name (with --catalog),"
+                                " or points file / .pages tree (Q, "
+                                "deprecated)")
+    serve_net.add_argument("--catalog", default=None,
+                           help="dataset catalog (dir or catalog.json);"
+                                " also enables POST /v1/sql dataset "
+                                "resolution")
     serve_net.add_argument("--host", default="127.0.0.1",
                            help="bind address")
     serve_net.add_argument("--port", type=int, default=0,
@@ -1188,6 +1509,91 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--list-schedules", action="store_true",
                        help="print the named schedules and exit")
     chaos.set_defaults(func=cmd_chaos)
+
+    sql = sub.add_parser(
+        "sql",
+        help="run one CPQL statement (SELECT CLOSEST PAIRS ...) "
+             "against a catalog or a serve-net endpoint",
+    )
+    sql.add_argument("query",
+                     help="the CPQL statement, or - to read stdin")
+    sql.add_argument("--catalog", default=None,
+                     help="dataset catalog to resolve FROM names "
+                          "against (in-process execution)")
+    sql.add_argument("--kind", default=None,
+                     help="pin one index kind (str/grid/dynamic) for "
+                          "every dataset; default: each dataset's own")
+    sql.add_argument("--host", default="127.0.0.1",
+                     help="serve-net host (with --port)")
+    sql.add_argument("--port", type=int, default=None,
+                     help="send the statement to a serve-net endpoint "
+                          "(POST /v1/sql) instead of executing "
+                          "in-process")
+    sql.add_argument("--deadline-ms", type=float, default=None,
+                     help="per-query deadline")
+    sql.add_argument("--no-cache", action="store_true",
+                     help="bypass the service result cache")
+    sql.add_argument("--workers", type=int, default=2,
+                     help="service worker threads (in-process mode)")
+    sql.add_argument("--buffer", type=int, default=64,
+                     help="LRU buffer pages per opened tree")
+    sql.add_argument("--json", action="store_true",
+                     help="emit the response as one JSON object")
+    sql.set_defaults(func=cmd_sql)
+
+    catalog_cmd = sub.add_parser(
+        "catalog",
+        help="maintain a persisted dataset catalog (register/list/"
+             "info/remove)",
+    )
+    catalog_sub = catalog_cmd.add_subparsers(dest="catalog_command",
+                                             required=True)
+
+    cat_register = catalog_sub.add_parser(
+        "register",
+        help="build index(es) over a points file under a dataset name",
+    )
+    cat_register.add_argument("name", help="dataset name")
+    cat_register.add_argument("points",
+                              help="input points (.npy or .csv)")
+    cat_register.add_argument("--catalog", required=True,
+                              help="catalog dir or catalog.json; page "
+                                   "files land next to it")
+    cat_register.add_argument("--kind", default="auto",
+                              help="index kind: auto (planner decides),"
+                                   " str, grid or dynamic")
+    cat_register.add_argument("--extra-kinds", default="",
+                              help="comma-separated additional kinds "
+                                   "to build alongside")
+    cat_register.add_argument("--page-size", type=int, default=1024)
+    cat_register.add_argument("--mmap", action="store_true",
+                              help="record mmap as the index's "
+                                   "preferred read path")
+    cat_register.add_argument("--overwrite", action="store_true",
+                              help="rebuild over an existing entry")
+    cat_register.set_defaults(func=cmd_catalog_register)
+
+    cat_list = catalog_sub.add_parser(
+        "list", help="list registered datasets"
+    )
+    cat_list.add_argument("--catalog", required=True)
+    cat_list.set_defaults(func=cmd_catalog_list)
+
+    cat_info = catalog_sub.add_parser(
+        "info", help="describe one dataset and its indexes"
+    )
+    cat_info.add_argument("name")
+    cat_info.add_argument("--catalog", required=True)
+    cat_info.set_defaults(func=cmd_catalog_info)
+
+    cat_remove = catalog_sub.add_parser(
+        "remove", help="drop one dataset's catalog entry"
+    )
+    cat_remove.add_argument("name")
+    cat_remove.add_argument("--catalog", required=True)
+    cat_remove.add_argument("--delete-files", action="store_true",
+                            help="also delete its page files")
+    cat_remove.set_defaults(func=cmd_catalog_remove)
 
     figure = sub.add_parser(
         "figure", help="regenerate one of the paper's figures"

@@ -34,6 +34,17 @@ Hierarchy
     :mod:`repro.service`.
   * :class:`ServiceOverloadError` -- the query service shed the request
     under load (queue depth at or above the shedding threshold).
+  * :class:`CatalogError` -- the dataset catalog could not resolve or
+    persist an entry (bad schema version, duplicate name, missing page
+    file).
+
+    * :class:`UnknownDatasetError` -- a lookup named a dataset or index
+      kind the catalog does not hold.  Also a :class:`KeyError`.
+
+  * :class:`CPQLError` -- a CPQL query failed to parse; carries the
+    character position of the offending token.  Also a
+    :class:`ValueError`; the service answers ``bad_request`` and the
+    network edge maps it to HTTP 400.
   * :class:`UnsupportedCapabilityError` -- a request asked an algorithm
     for a capability (range window, color predicates) its registry
     entry does not declare.  Carries the capability name and the list
@@ -114,6 +125,61 @@ class UnsupportedCapabilityError(ReproError, ValueError):
         self.algorithm = algorithm
         self.capability = capability
         self.capable = tuple(capable)
+
+
+class CatalogError(ReproError):
+    """Base class for dataset-catalog failures.
+
+    Raised by :mod:`repro.catalog` for malformed catalog files,
+    unsupported schema versions, duplicate registrations and missing
+    page files -- anything that stops a catalog from resolving a name
+    to an openable tree.
+    """
+
+
+class UnknownDatasetError(CatalogError, KeyError):
+    """A catalog lookup named a dataset (or index kind) it does not hold.
+
+    Carries the missing ``name`` and the catalog's registered names so
+    callers can self-serve the fix.  Subclasses :class:`KeyError` to
+    match the mapping-like feel of ``catalog.dataset(name)``.
+    """
+
+    def __init__(self, name: str, known: tuple = ()):
+        hint = (
+            f"; registered datasets: {', '.join(known)}"
+            if known else "; the catalog is empty"
+        )
+        # KeyError repr()s its lone arg; go through Exception and keep
+        # the message readable.
+        Exception.__init__(
+            self, f"unknown dataset {name!r}{hint}"
+        )
+        self.name = name
+        self.known = tuple(known)
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class CPQLError(ReproError, ValueError):
+    """A CPQL query failed to parse.
+
+    Carries the 0-based character ``position`` of the offending token
+    so front ends can point at it; :meth:`caret` renders the standard
+    two-line source/caret display.  The service answers ``bad_request``
+    and the network edge maps it to HTTP 400, exactly like a
+    capability mismatch.
+    """
+
+    def __init__(self, message: str, source: str = "", position: int = 0):
+        super().__init__(message)
+        self.source = source
+        self.position = position
+
+    def caret(self) -> str:
+        """The query text with a ``^`` under the error position."""
+        return f"{self.source}\n{' ' * self.position}^"
 
 
 class ServiceOverloadError(ReproError):

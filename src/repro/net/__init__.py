@@ -13,6 +13,7 @@ from repro.net.client import NetClient
 from repro.net.server import NetServer
 from repro.net.shard import ShardManager, TreeSpec, tree_spec
 from repro.net.wire import (
+    SQLRequest,
     WIRE_VERSION,
     WireError,
     decode_request,
@@ -26,6 +27,7 @@ from repro.net.wire import (
 )
 
 __all__ = [
+    "SQLRequest",
     "WIRE_VERSION",
     "WireError",
     "NetClient",

@@ -105,6 +105,27 @@ class NetClient:
         )
         return wire.decode_response(obj)
 
+    def sql(self, statement: str, *, pair: str = None,
+            deadline_ms: float = None,
+            use_cache: bool = True) -> QueryResponse:
+        """Run one CPQL statement on the server's catalog.
+
+        The statement travels as text in a wire-v3 ``sql`` envelope
+        (``POST /v1/sql``); the *server* parses it and resolves the
+        ``FROM`` datasets against its attached catalog.  Syntax errors
+        and unknown datasets surface as :class:`~repro.net.wire.
+        WireError` (the 400 mapping), with the parser position in the
+        message.
+        """
+        request = wire.SQLRequest(
+            sql=statement, pair=pair,
+            deadline_ms=deadline_ms, use_cache=use_cache,
+        )
+        obj = self._exchange(
+            "POST", "/v1/sql", wire.dumps_request(request)
+        )
+        return wire.decode_response(obj)
+
     def healthz(self) -> Dict[str, Any]:
         return self._exchange("GET", "/healthz")
 

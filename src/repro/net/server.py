@@ -11,6 +11,10 @@ speaks the versioned JSON envelopes of :mod:`repro.net.wire`:
   ``overloaded``/``rejected``/``unavailable``, 504
   ``deadline_exceeded``, 500 ``error``); malformed envelopes are 400
   with a ``WireError`` message and never reach the service.
+* ``POST /v1/sql`` -- one CPQL statement (wire v3 ``sql`` envelope)
+  parsed server-side and resolved against the service's attached
+  catalog; syntax errors and unknown datasets answer 400 with the
+  parser position in the error text.
 * ``GET /healthz`` -- liveness plus per-shard breaker states when a
   :class:`~repro.net.shard.ShardManager` is attached.
 * ``GET /stats`` -- the service metrics snapshot
@@ -37,6 +41,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
+from repro.errors import CPQLError, UnknownDatasetError
 from repro.net import wire
 from repro.service import QueryService
 from repro.service.engine import (
@@ -313,6 +318,11 @@ class NetServer:
                 raise _HTTPError(405, "Method Not Allowed",
                                  "query endpoint takes POST")
             return await self._handle_query(body)
+        if path == "/v1/sql":
+            if method != "POST":
+                raise _HTTPError(405, "Method Not Allowed",
+                                 "sql endpoint takes POST")
+            return await self._handle_sql(body)
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "Method Not Allowed",
@@ -335,7 +345,61 @@ class NetServer:
             request = wire.loads_request(body)
         except wire.WireError as exc:
             raise _HTTPError(400, "Bad Request", str(exc)) from exc
+        if isinstance(request, wire.SQLRequest):
+            # op "sql" is accepted on the generic endpoint too; it
+            # takes the same parse-then-submit path as /v1/sql.
+            return await self._submit_sql(request)
         pending = self.service.submit(request)
+        return await self._await_pending(pending)
+
+    async def _handle_sql(
+        self, body: bytes
+    ) -> Tuple[int, str, Dict[str, Any]]:
+        """``POST /v1/sql``: one CPQL statement in a v3 envelope.
+
+        The ``op`` field may be omitted -- the route implies it.  CPQL
+        syntax errors and unknown datasets answer 400 with the parser
+        position / known-dataset hint in the error text; everything
+        else follows the structured-status mapping of ``/v1/query``.
+        """
+        try:
+            obj = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, "Bad Request",
+                             f"request is not valid JSON: {exc}") from exc
+        if isinstance(obj, dict) and "op" not in obj:
+            obj = dict(obj, op="sql")
+        try:
+            request = wire.decode_request(obj)
+        except wire.WireError as exc:
+            raise _HTTPError(400, "Bad Request", str(exc)) from exc
+        if not isinstance(request, wire.SQLRequest):
+            raise _HTTPError(400, "Bad Request",
+                             "sql endpoint takes op 'sql' envelopes")
+        return await self._submit_sql(request)
+
+    async def _submit_sql(
+        self, request: "wire.SQLRequest"
+    ) -> Tuple[int, str, Dict[str, Any]]:
+        try:
+            pending = self.service.submit_sql(
+                request.sql,
+                pair=request.pair,
+                deadline_ms=request.deadline_ms,
+                use_cache=request.use_cache,
+            )
+        except CPQLError as exc:
+            raise _HTTPError(
+                400, "Bad Request",
+                f"CPQL: {exc} (at position {exc.position})",
+            ) from exc
+        except UnknownDatasetError as exc:
+            raise _HTTPError(400, "Bad Request", str(exc)) from exc
+        return await self._await_pending(pending)
+
+    async def _await_pending(
+        self, pending
+    ) -> Tuple[int, str, Dict[str, Any]]:
         loop = asyncio.get_running_loop()
         response = await loop.run_in_executor(
             self._executor, pending.result

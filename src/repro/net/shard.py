@@ -63,7 +63,6 @@ from repro.core.parallel import PartitionTask, partition_tasks
 from repro.core.result import CPQResult
 from repro.rtree.tree import RTree
 from repro.service.breaker import CircuitBreaker
-from repro.storage.paged_file import PagedFile
 from repro.storage.store import FilePageStore
 
 #: How shard loss affects in-flight queries.
@@ -102,15 +101,21 @@ class TreeSpec:
         return int(self.metadata.get("generation", 0))
 
     def open(self) -> RTree:
-        store = FilePageStore(self.path, self.page_size, readonly=True,
-                              use_mmap=self.use_mmap)
-        file = PagedFile(
-            store,
-            buffer_capacity=self.buffer_capacity,
+        # One reopen path for the whole system: the catalog owns the
+        # (path, metadata, flags) -> RTree logic, so shard workers and
+        # service registration cannot drift on snapshot-generation or
+        # mmap handling.
+        from repro.catalog.core import open_tree
+
+        return open_tree(
+            self.path,
+            metadata=dict(self.metadata),
             page_size=self.page_size,
+            use_mmap=self.use_mmap,
+            readonly=True,
+            buffer_capacity=self.buffer_capacity,
             read_latency=self.read_latency,
         )
-        return RTree.from_storage(file, dict(self.metadata))
 
 
 def tree_spec(tree: RTree, buffer_capacity: Optional[int] = None,

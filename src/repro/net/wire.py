@@ -32,7 +32,8 @@ that want bytes (the server and client use these).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Tuple, Union
 
 from repro.core.constraints import ColorSpec, RangeSpec
 from repro.core.result import ClosestPair, CPQResult
@@ -48,28 +49,54 @@ from repro.storage.stats import QueryStats
 
 #: Wire protocol version; bump on any incompatible envelope change.
 #: Version 2 adds the optional ``range`` / ``colors`` fields to the
-#: cpq request envelope.  The additions are backwards-compatible --
-#: absent fields decode to unconstrained queries -- so version-1
-#: envelopes remain accepted (:data:`ACCEPTED_VERSIONS`).
-WIRE_VERSION = 2
+#: cpq request envelope.  Version 3 adds the ``sql`` op: the envelope
+#: carries one CPQL statement (:mod:`repro.query.cpql`) which the
+#: *server* parses and plans against its catalog -- the client needs
+#: no parser and no knowledge of dataset layout.  Each addition is
+#: backwards-compatible -- absent fields decode to unconstrained
+#: queries -- so version-1 and version-2 envelopes remain accepted
+#: (:data:`ACCEPTED_VERSIONS`); only ``op: sql`` itself demands v3.
+WIRE_VERSION = 3
 
 #: Envelope versions this decoder speaks.
-ACCEPTED_VERSIONS = frozenset({1, 2})
+ACCEPTED_VERSIONS = frozenset({1, 2, 3})
 
-Request = Union[CPQRequest, KNNRequest, RangeRequest]
+
+@dataclass(frozen=True)
+class SQLRequest:
+    """A CPQL statement travelling to a catalog-attached server.
+
+    Unlike the three structured requests this is *textual*: ``sql``
+    is parsed server-side (:func:`repro.query.cpql.parse_cpql`) and
+    compiled onto the pair named by its ``FROM`` clause, so the wire
+    never fixes the algorithm, constraints or even the pair -- the
+    statement does.  ``pair`` optionally overrides the derived pair
+    name.  Requires wire version >= 3.
+    """
+
+    kind: ClassVar[str] = "sql"
+
+    sql: str
+    pair: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    use_cache: bool = True
+
+
+Request = Union[CPQRequest, KNNRequest, RangeRequest, SQLRequest]
 
 
 class WireError(ValueError):
     """Malformed, unsupported, or wrong-version wire payload."""
 
 
-def _require_version(obj: Dict[str, Any]) -> None:
+def _require_version(obj: Dict[str, Any]) -> int:
     version = obj.get("v")
     if version not in ACCEPTED_VERSIONS:
         raise WireError(
             f"unsupported wire version {version!r}; this endpoint "
             f"speaks versions {sorted(ACCEPTED_VERSIONS)}"
         )
+    return version
 
 
 def _json_safe(value: Any) -> Any:
@@ -135,6 +162,8 @@ def encode_request(request: Request) -> Dict[str, Any]:
                 ),
                 "distinct": colors.distinct,
             }
+    elif request.kind == "sql":
+        out["sql"] = request.sql
     elif request.kind == "knn":
         out.update(point=list(request.point), k=request.k,
                    side=request.side)
@@ -177,8 +206,22 @@ def decode_request(obj: Dict[str, Any]) -> Request:
     if not isinstance(obj, dict):
         raise WireError(f"request envelope must be an object, "
                         f"got {type(obj).__name__}")
-    _require_version(obj)
+    version = _require_version(obj)
     op = obj.get("op", "cpq")
+    if op == "sql":
+        if version < 3:
+            raise WireError(
+                f"op 'sql' requires wire version >= 3, got {version}"
+            )
+        sql = obj.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise WireError("'sql' request needs a non-empty sql string")
+        return SQLRequest(
+            sql=sql,
+            pair=obj.get("pair"),
+            deadline_ms=obj.get("deadline_ms"),
+            use_cache=bool(obj.get("use_cache", True)),
+        )
     common = {
         "pair": obj.get("pair", "default"),
         "deadline_ms": obj.get("deadline_ms"),
@@ -217,7 +260,7 @@ def decode_request(obj: Dict[str, Any]) -> Request:
         raise
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"bad {op!r} request: {exc}") from exc
-    raise WireError(f"unknown op {op!r}; expected cpq, knn or range")
+    raise WireError(f"unknown op {op!r}; expected cpq, knn, range or sql")
 
 
 # ---------------------------------------------------------------------------

@@ -6,6 +6,8 @@ credible spatial-database library, they cross-validate the R-tree
 implementation: the test suite checks each against brute force.
 """
 
+from repro.query.cpql import KEYWORDS as CPQL_KEYWORDS
+from repro.query.cpql import ParsedQuery, parse_cpql
 from repro.query.epsilon_join import distance_range_join
 from repro.query.knn import nearest_neighbor, nearest_neighbors
 from repro.query.point_location import point_location
@@ -13,6 +15,9 @@ from repro.query.range_query import range_query
 from repro.query.rcp import RangeCandidateIndex, rcp_k_closest_pairs
 
 __all__ = [
+    "CPQL_KEYWORDS",
+    "ParsedQuery",
+    "parse_cpql",
     "range_query",
     "point_location",
     "nearest_neighbors",

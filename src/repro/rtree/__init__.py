@@ -9,12 +9,24 @@ nodes implemented as disk pages.  This subpackage provides:
   Guttman quadratic split and the R* split with forced reinsertion.
 * :mod:`~repro.rtree.bulk` -- Sort-Tile-Recursive bulk loading for
   fast experiment setup.
+* :mod:`~repro.rtree.grid` -- uniform-grid packing, the catalog's
+  alternative index kind for uniform data (see ``docs/CATALOG.md``).
 * :mod:`~repro.rtree.validate` -- structural invariant checking used
   by the test suite.
 """
 
+from repro.rtree.bulk import bulk_load
 from repro.rtree.entries import InternalEntry, LeafEntry
+from repro.rtree.grid import grid_load
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree, RTreeConfig
 
-__all__ = ["RTree", "RTreeConfig", "Node", "LeafEntry", "InternalEntry"]
+__all__ = [
+    "RTree",
+    "RTreeConfig",
+    "Node",
+    "LeafEntry",
+    "InternalEntry",
+    "bulk_load",
+    "grid_load",
+]

@@ -9,7 +9,7 @@ operators.  See ``docs/SERVICE.md`` for the architecture and
 shedding, per-pair circuit breakers, stale degraded serving).
 """
 
-from repro.errors import ServiceOverloadError
+from repro.errors import CPQLError, ServiceOverloadError, UnknownDatasetError
 from repro.service.breaker import CircuitBreaker
 from repro.service.cache import ResultCache, cache_key
 from repro.service.engine import (
@@ -34,6 +34,7 @@ from repro.service.planner import PlanDecision, Planner
 
 __all__ = [
     "CircuitBreaker",
+    "CPQLError",
     "CPQRequest",
     "DeadlineExceeded",
     "KNNRequest",
@@ -54,5 +55,6 @@ __all__ = [
     "STATUS_OVERLOADED",
     "STATUS_REJECTED",
     "STATUS_UNAVAILABLE",
+    "UnknownDatasetError",
     "cache_key",
 ]

@@ -70,6 +70,7 @@ from repro.errors import (
 )
 from repro.geometry.mbr import MBR
 from repro.obs.trace import NULL_TRACER
+from repro.query.cpql import ParsedQuery, parse_cpql
 from repro.query.knn import nearest_neighbors
 from repro.query.range_query import range_query
 from repro.rtree.tree import RTree
@@ -447,6 +448,10 @@ class QueryService:
         )
         self._pairs: Dict[str, _RegisteredPair] = {}
         self._pairs_lock = threading.Lock()
+        self._catalog = None
+        self._catalog_open_kwargs: Dict[str, Any] = {}
+        self._catalog_lock = threading.Lock()
+        self._catalog_trees: List[RTree] = []
         self._closed = False
         self._workers = [
             threading.Thread(
@@ -489,6 +494,112 @@ class QueryService:
     def pairs(self) -> List[str]:
         with self._pairs_lock:
             return sorted(self._pairs)
+
+    def attach_catalog(
+        self, catalog, *, kind: Optional[str] = None,
+        use_mmap: Optional[bool] = None, buffer_capacity: int = 64,
+        read_latency: float = 0.0,
+    ) -> None:
+        """Resolve unregistered pair names against a catalog.
+
+        With a :class:`repro.catalog.Catalog` attached, a CPQ or SQL
+        request addressing an unknown pair ``"a,b"`` (or a bare
+        ``"a"``, the self-join) auto-registers it by opening the named
+        datasets through :meth:`~repro.catalog.Catalog.open_dataset`
+        -- the catalog's metadata, not hand-plumbed paths, decides
+        page size, mmap and legacy flags.  ``kind`` pins one index
+        kind for every dataset; ``None`` takes each dataset's
+        default.  The open keyword arguments apply to every tree
+        opened this way; the service closes those trees on
+        :meth:`close`.  Explicit :meth:`register_pair` registrations
+        always win over catalog resolution.
+        """
+        self._catalog = catalog
+        self._catalog_open_kwargs = {
+            "kind": kind,
+            "use_mmap": use_mmap,
+            "buffer_capacity": buffer_capacity,
+            "read_latency": read_latency,
+        }
+
+    def _resolve_pair(self, name: str) -> None:
+        """Auto-register ``name`` from the attached catalog if needed.
+
+        Raises :class:`repro.errors.UnknownDatasetError` when a
+        catalog is attached but does not know a referenced dataset;
+        silently returns when no catalog is attached (the execution
+        path then answers ``unknown pair`` as before).
+        """
+        with self._pairs_lock:
+            if name in self._pairs:
+                return
+        if self._catalog is None:
+            return
+        datasets = [part.strip() for part in name.split(",")]
+        if len(datasets) == 1:
+            datasets = [datasets[0], datasets[0]]
+        if len(datasets) != 2 or not all(datasets):
+            return  # not a catalog-shaped pair name
+        with self._catalog_lock:
+            with self._pairs_lock:
+                if name in self._pairs:
+                    return
+            opened: Dict[str, Any] = {}
+            for dataset in datasets:
+                # A self-join opens one tree and hands it to both
+                # sides -- the self-CPQ algorithms insist on identity.
+                if dataset not in opened:
+                    opened[dataset] = self._catalog.open_dataset(
+                        dataset,
+                        self._catalog_open_kwargs.get("kind"),
+                        use_mmap=self._catalog_open_kwargs.get(
+                            "use_mmap"
+                        ),
+                        buffer_capacity=self._catalog_open_kwargs.get(
+                            "buffer_capacity", 64
+                        ),
+                        read_latency=self._catalog_open_kwargs.get(
+                            "read_latency", 0.0
+                        ),
+                    )
+            self._catalog_trees.extend(opened.values())
+            self.register_pair(
+                name, opened[datasets[0]], opened[datasets[1]]
+            )
+
+    # -- CPQL --------------------------------------------------------------
+
+    def submit_sql(
+        self, sql: Union[str, ParsedQuery], *, pair: Optional[str] = None,
+        deadline_ms: Optional[float] = None, use_cache: bool = True,
+    ) -> PendingQuery:
+        """Admit one CPQL statement (see :mod:`repro.query.cpql`).
+
+        The statement's ``FROM`` datasets name the pair; an attached
+        catalog (:meth:`attach_catalog`) resolves pairs not yet
+        registered.  ``pair`` overrides the derived name for services
+        whose registrations do not follow the ``"a,b"`` convention.
+        Syntax errors raise :class:`~repro.errors.CPQLError` and
+        unknown datasets :class:`~repro.errors.UnknownDatasetError`
+        *synchronously* -- the request never enters the queue; the
+        CLI and the network edge map both onto their bad-request
+        surfaces (exit code 2, HTTP 400).  Load and execution
+        failures resolve through the returned handle exactly as for
+        :meth:`submit`.
+        """
+        parsed = parse_cpql(sql) if isinstance(sql, str) else sql
+        request = parsed.to_service_request(
+            pair=pair, deadline_ms=deadline_ms, use_cache=use_cache
+        )
+        self._resolve_pair(request.pair)
+        return self.submit(request)
+
+    def execute_sql(
+        self, sql: Union[str, ParsedQuery], *,
+        timeout: Optional[float] = None, **kwargs,
+    ) -> QueryResponse:
+        """Run one CPQL statement and wait for its response."""
+        return self.submit_sql(sql, **kwargs).result(timeout)
 
     # -- submission --------------------------------------------------------
 
@@ -669,6 +780,18 @@ class QueryService:
         if wait:
             for thread in self._workers:
                 thread.join()
+        if wait or drain:
+            # All admitted work has finished: release the trees this
+            # service opened itself (catalog auto-registration).
+            # Caller-registered trees stay the caller's to close.
+            with self._catalog_lock:
+                trees, self._catalog_trees = self._catalog_trees, []
+            for tree in trees:
+                close = getattr(
+                    getattr(tree.file, "store", None), "close", None
+                )
+                if close is not None:
+                    close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -806,7 +929,12 @@ class QueryService:
             pair, (snap_p.generation, snap_q.generation)
         )
         view_p = pair.tree_p.view(snap_p)
-        view_q = pair.tree_q.view(snap_q)
+        # A self-join pair shares one view: the self-CPQ algorithms
+        # demand object identity between the two sides.
+        if pair.tree_p is pair.tree_q:
+            view_q = view_p
+        else:
+            view_q = pair.tree_q.view(snap_q)
 
         key = None
         if request.use_cache and self.cache.capacity > 0:

@@ -36,11 +36,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.cost_model import (
+    DEFAULT_GRID_SKEW_THRESHOLD,
+    IndexKindDecision,
     TreeShape,
     estimate_closest_pair_distance,
     estimate_cpq_accesses,
     estimate_parallel_speedup,
     estimate_range_selectivity,
+    grid_occupancy_cv,
+    recommend_index_kind,
 )
 from repro.core.api import ALGORITHM_REGISTRY, PLANNABLE_ALGORITHMS
 from repro.obs.trace import NULL_TRACER
@@ -104,7 +108,8 @@ class Planner:
 
     def __init__(self, sim_threshold: float = 24.0,
                  parallel_speedup_threshold: float = 1.5,
-                 rcp_selectivity_threshold: float = 0.10):
+                 rcp_selectivity_threshold: float = 0.10,
+                 grid_skew_threshold: float = DEFAULT_GRID_SKEW_THRESHOLD):
         if sim_threshold < 0:
             raise ValueError("sim_threshold must be >= 0")
         if parallel_speedup_threshold < 1.0:
@@ -113,6 +118,8 @@ class Planner:
             raise ValueError(
                 "rcp_selectivity_threshold must lie in [0, 1]"
             )
+        if grid_skew_threshold <= 0.0:
+            raise ValueError("grid_skew_threshold must be > 0")
         self.sim_threshold = sim_threshold
         #: Minimum predicted speedup before the planner recommends
         #: spending worker threads on one query.
@@ -122,6 +129,46 @@ class Planner:
         #: windows produce small, highly reusable candidate lists);
         #: larger windows run the CLIPPED traversal directly.
         self.rcp_selectivity_threshold = rcp_selectivity_threshold
+        #: Grid-occupancy CV above which a dataset counts as skewed and
+        #: :meth:`plan_index` stops recommending the grid index.
+        self.grid_skew_threshold = grid_skew_threshold
+
+    def plan_index(
+        self,
+        points=None,
+        *,
+        n: Optional[int] = None,
+        skew: Optional[float] = None,
+        mutable: bool = False,
+        selectivity: Optional[float] = None,
+        tracer=NULL_TRACER,
+    ) -> IndexKindDecision:
+        """Recommend an index kind for one dataset (the catalog's
+        ``kind="auto"`` path).
+
+        Pass the raw ``points`` to have the skew statistic
+        (:func:`~repro.analysis.cost_model.grid_occupancy_cv`)
+        computed, or precomputed ``n`` / ``skew`` when the points are
+        not at hand.  ``mutable`` marks datasets that take live
+        mutation (forces ``dynamic``); ``selectivity`` is the expected
+        query-window workspace fraction, when the workload is known.
+        """
+        if points is not None:
+            n = len(points)
+            if skew is None:
+                skew = grid_occupancy_cv(points)
+        if n is None:
+            raise ValueError("plan_index needs points or n")
+        if skew is None:
+            skew = float("nan")
+        decision = recommend_index_kind(
+            n, skew, mutable=mutable, selectivity=selectivity,
+            skew_threshold=self.grid_skew_threshold,
+        )
+        if tracer.enabled:
+            with tracer.span("plan_index") as span:
+                span.annotate(**decision.as_dict())
+        return decision
 
     def plan(
         self,

@@ -182,7 +182,8 @@ class TestWireV2:
                     "distinct": True},
         )
         envelope = wire.encode_request(request)
-        assert envelope["v"] == 2
+        assert envelope["v"] == wire.WIRE_VERSION
+        assert envelope["v"] >= 2
         decoded = wire.loads_request(wire.dumps_request(request))
         assert decoded.range == request.range
         assert decoded.colors == request.colors
@@ -205,7 +206,7 @@ class TestWireV2:
         from repro.net import wire
 
         with pytest.raises(wire.WireError, match="version"):
-            wire.decode_request({"v": 3, "op": "cpq"})
+            wire.decode_request({"v": wire.WIRE_VERSION + 1, "op": "cpq"})
 
     def test_plan_range_selectivity_round_trips(self):
         from repro.net import wire

@@ -1,0 +1,144 @@
+"""The grid-file index kind: structural validity and query parity.
+
+:func:`repro.rtree.grid.grid_load` packs leaves in uniform-grid cell
+order instead of STR slab order, but the product must still be a
+legal R-tree in the same page format -- every invariant holds, every
+point survives, and every CPQ algorithm returns exactly the same
+distances as over an STR-packed or dynamically built tree.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.api import CPQRequest, k_closest_pairs
+from repro.query.range_query import range_query
+from repro.geometry.mbr import MBR
+from repro.rtree.bulk import bulk_load
+from repro.rtree.grid import (
+    grid_cells_per_axis,
+    grid_load,
+    grid_occupancy,
+)
+from repro.rtree.validate import validate
+from tests.conftest import brute_force_pairs
+
+
+def _points(n, seed=7, cluster=False):
+    rng = random.Random(seed)
+    if not cluster:
+        return [(rng.random(), rng.random()) for __ in range(n)]
+    centers = [(rng.random(), rng.random()) for __ in range(4)]
+    return [
+        (min(1.0, max(0.0, cx + rng.gauss(0, 0.01))),
+         min(1.0, max(0.0, cy + rng.gauss(0, 0.01))))
+        for __ in range(n)
+        for cx, cy in (centers[rng.randrange(4)],)
+    ]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [1, 5, 50, 500, 2000])
+    def test_invariants_hold(self, n):
+        tree = grid_load(_points(n))
+        summary = validate(tree)
+        assert summary.entries == n
+        assert len(tree) == n
+
+    def test_clustered_data_still_valid(self):
+        tree = grid_load(_points(800, cluster=True))
+        assert validate(tree).entries == 800
+
+    def test_all_points_preserved(self):
+        points = _points(700, seed=3)
+        tree = grid_load(points)
+        found = range_query(tree, MBR((0.0, 0.0), (1.0, 1.0)))
+        assert sorted(e.point for e in found) == sorted(points)
+
+    def test_oids_preserved(self):
+        points = _points(120)
+        oids = [i * 7 + 1 for i in range(120)]
+        tree = grid_load(points, oids)
+        found = range_query(tree, MBR((0.0, 0.0), (1.0, 1.0)))
+        assert sorted(e.oid for e in found) == sorted(oids)
+
+    def test_height_matches_str_packing_shape(self):
+        # Same per-node fill policy as bulk_load, so the grid tree is
+        # never taller than one level above the STR tree.
+        points = _points(1500)
+        assert abs(grid_load(points).height
+                   - bulk_load(points).height) <= 1
+
+    @given(st.integers(min_value=1, max_value=300))
+    def test_any_cardinality_is_valid(self, n):
+        tree = grid_load(_points(n, seed=n))
+        assert validate(tree).entries == n
+
+    def test_explicit_cells_per_axis(self):
+        points = _points(400)
+        tree = grid_load(points, cells_per_axis=5)
+        assert validate(tree).entries == 400
+
+    def test_empty_input_gives_empty_tree(self):
+        # Matches bulk_load: no points is a legal (empty) tree, not an
+        # error -- the catalog registers datasets before loading them.
+        tree = grid_load([])
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert validate(tree).entries == 0
+
+
+class TestOccupancy:
+    def test_counts_sum_to_n(self):
+        points = _points(300)
+        cells = grid_cells_per_axis(300, 7, 2)
+        occupancy = grid_occupancy(points, cells)
+        assert sum(occupancy.values()) == 300
+
+    def test_single_cell_degenerate(self):
+        points = [(0.5, 0.5)] * 20
+        occupancy = grid_occupancy(points, 4)
+        assert sum(occupancy.values()) == 20
+        assert len(occupancy) == 1
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize(
+        "algorithm", ["naive", "exh", "sim", "std", "heap"]
+    )
+    def test_cpq_distances_match_brute_force(self, algorithm):
+        pts_p = _points(250, seed=11)
+        pts_q = _points(220, seed=12)
+        tree_p = grid_load(pts_p)
+        tree_q = grid_load(pts_q)
+        result = k_closest_pairs(
+            tree_p, tree_q, request=CPQRequest(k=10, algorithm=algorithm)
+        )
+        expected = brute_force_pairs(pts_p, pts_q, 10)
+        assert [
+            pytest.approx(p.distance) for p in result.pairs
+        ] == expected
+
+    def test_grid_and_str_trees_agree_exactly(self):
+        pts_p = _points(400, seed=21, cluster=True)
+        pts_q = _points(350, seed=22)
+        request = CPQRequest(k=12, algorithm="heap")
+        from_grid = k_closest_pairs(
+            grid_load(pts_p), grid_load(pts_q), request=request
+        )
+        from_str = k_closest_pairs(
+            bulk_load(pts_p), bulk_load(pts_q), request=request
+        )
+        assert from_grid.pairs == from_str.pairs
+
+    def test_knn_over_grid_tree(self):
+        points = _points(300, seed=31)
+        tree = grid_load(points)
+        from repro.query.knn import nearest_neighbors
+
+        query = (0.25, 0.75)
+        found = nearest_neighbors(tree, query, k=5)
+        expected = sorted(math.dist(query, p) for p in points)[:5]
+        assert [pytest.approx(d) for d, __ in found] == expected

@@ -28,8 +28,15 @@ third-party imports.  Every registered algorithm must have a row, no
 row may name an unregistered algorithm, and every checkmark must match
 the registry flag.
 
+When ``docs/CATALOG.md`` is among the checked files, its CPQL keyword
+table (header first column ``keyword``) is compared the same way
+against the ``KEYWORDS`` tuple of ``src/repro/query/cpql.py``: every
+keyword the tokenizer reserves must have a row, no row may document an
+unreserved word, and the rows must stay in the tuple's (alphabetical)
+order.
+
 Exits 1 listing every broken link / missing docstring / stale
-capability row, 0 when clean.
+capability or keyword row, 0 when clean.
 
 Usage::
 
@@ -279,6 +286,91 @@ def check_capability_table(doc_path: str, api_path: str) -> List[str]:
     return errors
 
 
+def cpql_keywords(cpql_path: str) -> Tuple[str, ...]:
+    """The ``KEYWORDS`` tuple literal of ``repro/query/cpql.py``.
+
+    Parsed with :mod:`ast` like the capability registry, so the docs
+    job stays import-free.  Returns ``()`` when no literal is found.
+    """
+    with open(cpql_path, encoding="utf-8") as handle:
+        module = ast.parse(handle.read(), filename=cpql_path)
+    for node in module.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "KEYWORDS"
+                   for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, (ast.Tuple, ast.List)):
+            words = []
+            for element in value.elts:
+                if not (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    return ()
+                words.append(element.value)
+            return tuple(words)
+    return ()
+
+
+def doc_keyword_table(doc_path: str) -> List[Tuple[str, int]]:
+    """``(keyword, line_no)`` rows of the CPQL keyword table.
+
+    The table is recognised by a header row whose first column is
+    ``keyword``; rows end at the first non-table line.
+    """
+    rows: List[Tuple[str, int]] = []
+    in_table = False
+    with open(doc_path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped.startswith("|"):
+                if in_table and rows:
+                    break
+                in_table = False
+                continue
+            cells = [c.strip() for c in stripped.strip("|").split("|")]
+            first = cells[0].strip("`").lower()
+            if not in_table:
+                if first == "keyword":
+                    in_table = True
+                continue
+            if set(cells[0]) <= {"-", ":"}:
+                continue  # the |---|---| separator row
+            rows.append((cells[0].strip("`"), line_no))
+    return rows
+
+
+def check_keyword_table(doc_path: str, cpql_path: str) -> List[str]:
+    """Mismatches between the doc's keyword table and the tokenizer."""
+    keywords = cpql_keywords(cpql_path)
+    if not keywords:
+        return [f"{cpql_path}: no KEYWORDS tuple literal found "
+                f"(keyword check cannot run)"]
+    table = doc_keyword_table(doc_path)
+    if not table:
+        return [f"{doc_path}: no CPQL keyword table found (expected a "
+                f"header row whose first column is 'keyword')"]
+    errors = []
+    documented = [word for word, __ in table]
+    for word in keywords:
+        if word not in documented:
+            errors.append(f"{doc_path}: keyword table misses reserved "
+                          f"keyword {word!r}")
+    for word, line_no in table:
+        if word not in keywords:
+            errors.append(f"{doc_path}:{line_no}: keyword table row "
+                          f"{word!r} names no reserved keyword")
+    if not errors and documented != list(keywords):
+        errors.append(f"{doc_path}: keyword table order differs from "
+                      f"the KEYWORDS tuple (keep it alphabetical)")
+    return errors
+
+
 def main(argv: List[str]) -> int:
     targets: List[str] = []
     docstring_targets: List[str] = []
@@ -292,19 +384,27 @@ def main(argv: List[str]) -> int:
     checked = 0
     errors: List[str] = []
     api_doc = None
+    catalog_doc = None
     for path in markdown_files(targets):
         checked += 1
         errors.extend(check_file(path))
         if os.path.basename(path) == "API.md":
             api_doc = path
+        if os.path.basename(path) == "CATALOG.md":
+            catalog_doc = path
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
     if api_doc is not None:
-        repo_root = os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__))
-        )
         api_source = os.path.join(repo_root, "src", "repro", "core",
                                   "api.py")
         if os.path.exists(api_source):
             errors.extend(check_capability_table(api_doc, api_source))
+    if catalog_doc is not None:
+        cpql_source = os.path.join(repo_root, "src", "repro", "query",
+                                   "cpql.py")
+        if os.path.exists(cpql_source):
+            errors.extend(check_keyword_table(catalog_doc, cpql_source))
     py_checked = 0
     for target in docstring_targets:
         if not target:
