@@ -15,11 +15,19 @@ Also reports the *recovery* cost: wall time of a reference K-CPQ under
 the seeded ``transient`` chaos schedule relative to the fault-free
 run, with the injected fault/retry counts.
 
+* **hedging**: tail latency of the 2-shard scatter-gather when one
+  shard's wire is persistently slow -- p99 with hedged duplicate
+  dispatch against p99 with hedging disabled.  This is the number the
+  hedging machinery must justify itself with: a straggling shard
+  should cost roughly the hedge threshold, not the full stall.
+
 The printed table is Markdown (paste into ``docs/BENCHMARKS.md``).
 Exit status is the CI gate: nonzero when the fault-free checksummed
 read path is more than ``--max-overhead`` slower than the unverified
 one (default 0.5, i.e. "checksums may cost at most 50%"; the real
-ratio is far lower because CRC32 is C-speed).
+ratio is far lower because CRC32 is C-speed), or when the hedged p99
+fails to undercut the no-hedging p99 by at least
+``--max-hedged-ratio``.
 
 Usage::
 
@@ -143,6 +151,87 @@ def bench_recovery(n: int, k: int) -> dict:
     }
 
 
+def bench_hedging(n: int, queries: int, stall_s: float = 0.1) -> dict:
+    """Tail latency with one persistently slow shard, hedged vs not.
+
+    Two spawn shards over file-backed trees; a transport stalls every
+    job to shard 0 by ``stall_s``.  Without hedging each query eats
+    the stall; with hedging the coordinator duplicates the straggling
+    chunk to shard 1 once the attempt exceeds the latency-quantile
+    threshold, so the tail collapses to roughly the hedge floor.
+    """
+    import tempfile
+    import threading
+
+    from repro.net.faults import ShardTransport
+    from repro.net.retry import HedgePolicy
+    from repro.net.shard import ShardManager, tree_spec
+    from repro.storage.store import FilePageStore
+
+    class StallShardZero(ShardTransport):
+        def send(self, shard, message) -> None:
+            if shard.shard_id == 0:
+                inbox = shard.inbox
+                timer = threading.Timer(
+                    stall_s, lambda: inbox.put(message)
+                )
+                timer.daemon = True
+                timer.start()
+            else:
+                shard.inbox.put(message)
+
+    def p99(samples: list) -> float:
+        ordered = sorted(samples)
+        rank = max(1, int(round(0.99 * len(ordered))))
+        return ordered[rank - 1]
+
+    rng = random.Random(17)
+    with tempfile.TemporaryDirectory(prefix="bench-hedging-") as tmp:
+        trees = []
+        for name in ("p.pages", "q.pages"):
+            store = FilePageStore(f"{tmp}/{name}", page_size=1024)
+            trees.append(bulk_load(
+                [(rng.random(), rng.random()) for __ in range(n)],
+                file=PagedFile(store, page_size=1024),
+            ))
+        spec_p, spec_q = tree_spec(trees[0]), tree_spec(trees[1])
+        request = CPQRequest(k=10, algorithm="heap")
+        out = {"queries": queries, "stall_s": stall_s}
+        for label, policy in (
+            ("unhedged", HedgePolicy(enabled=False)),
+            # Median threshold: the persistent straggler's completions
+            # would push a p95 threshold above the stall itself and
+            # silence hedging -- exactly the regime this bench probes.
+            ("hedged", HedgePolicy(quantile=0.5, floor_s=0.02,
+                                   min_samples=4)),
+        ):
+            with ShardManager(
+                spec_p, spec_q, shards=2,
+                transport=StallShardZero(),
+                shard_timeout_s=30.0, attempt_timeout_s=10.0,
+                hedge_policy=policy, supervise=False,
+            ) as manager:
+                for __ in range(3):  # cold shards: spawn + first reads
+                    manager.execute(request)
+                latencies = []
+                for __ in range(queries):
+                    start = time.perf_counter()
+                    result = manager.execute(request)
+                    latencies.append(time.perf_counter() - start)
+                    assert not result.stats.extra["net"]["partial"]
+                out[f"{label}_p99_s"] = p99(latencies)
+                out[f"{label}_mean_s"] = sum(latencies) / len(latencies)
+                if label == "hedged":
+                    stats = manager.net_stats()
+                    out["hedges"] = stats["hedges"]
+                    out["hedge_wins"] = stats["hedge_wins"]
+        for tree in trees:
+            tree.file.store.close()
+    out["ratio"] = (out["hedged_p99_s"] / out["unhedged_p99_s"]
+                    if out["unhedged_p99_s"] else float("nan"))
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fault-free overhead and recovery cost of the "
@@ -154,6 +243,12 @@ def main(argv=None) -> int:
                         help="fail (exit 1) if checksummed decode is "
                              "more than this fraction slower than "
                              "unverified decode (default 0.5)")
+    parser.add_argument("--max-hedged-ratio", type=float, default=0.8,
+                        help="fail (exit 1) if the hedged p99 is not "
+                             "below this fraction of the no-hedging "
+                             "p99 under a stalled shard (default 0.8)")
+    parser.add_argument("--skip-hedging", action="store_true",
+                        help="skip the multi-process hedging benchmark")
     parser.add_argument("--json", default=None,
                         help="also write the numbers as JSON here")
     args = parser.parse_args(argv)
@@ -166,6 +261,13 @@ def main(argv=None) -> int:
     checksum = bench_checksum(pages, repeats)
     plumbing = bench_retry_plumbing(reads, repeats)
     recovery = bench_recovery(n, k=10)
+    hedging = None
+    if not args.skip_hedging:
+        hedging = bench_hedging(
+            n=400 if args.quick else 1_000,
+            queries=12 if args.quick else 40,
+            stall_s=0.08 if args.quick else 0.1,
+        )
 
     print("resilience overhead (fault-free hot path, best of "
           f"{repeats})\n")
@@ -185,19 +287,35 @@ def main(argv=None) -> int:
           f"{recovery['clean_s'] * 1e3:.1f} ms clean "
           f"({recovery['slowdown']:.2f}x), {recovery['injected']} faults "
           f"injected, {recovery['retries']} retries, answers identical")
+    if hedging is not None:
+        print(f"hedging: 2 shards, shard 0 stalled "
+              f"{hedging['stall_s'] * 1e3:.0f} ms, "
+              f"{hedging['queries']} queries -- p99 "
+              f"{hedging['hedged_p99_s'] * 1e3:.1f} ms hedged vs "
+              f"{hedging['unhedged_p99_s'] * 1e3:.1f} ms unhedged "
+              f"({hedging['ratio']:.2f}x), {hedging['hedges']} hedges, "
+              f"{hedging['hedge_wins']} wins")
 
     if args.json:
         with open(args.json, "w") as handle:
             json.dump({"checksum": checksum, "retry": plumbing,
-                       "recovery": recovery}, handle, indent=2)
+                       "recovery": recovery, "hedging": hedging},
+                      handle, indent=2)
         print(f"\nwrote {args.json}")
 
+    failed = False
     if checksum["overhead"] > args.max_overhead:
         print(f"FAIL: checksum overhead {checksum['overhead']:.2f} "
               f"exceeds --max-overhead {args.max_overhead}",
               file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if hedging is not None and hedging["ratio"] > args.max_hedged_ratio:
+        print(f"FAIL: hedged p99 is {hedging['ratio']:.2f}x the "
+              f"no-hedging p99, above --max-hedged-ratio "
+              f"{args.max_hedged_ratio} -- hedging is not pulling in "
+              f"the tail", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

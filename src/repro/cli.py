@@ -806,6 +806,15 @@ def cmd_serve_net(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         cpq_executor=manager.service_executor(),
     )
+    # Lifecycle self-healing events (supervisor respawns, hot reloads)
+    # flow into /stats; query-scoped events (retries, hedges) are
+    # forwarded per-query by the engine, so only lifecycle kinds pass
+    # here or they would double-count.
+    lifecycle = ("respawns", "reloads", "probe_misses")
+    manager.metrics_sink = (
+        lambda kind, n: service.metrics.record_net_event(kind, n)
+        if kind in lifecycle else None
+    )
     service.register_pair(pair, manager.tree_p, manager.tree_q)
     if catalog is not None:
         # /v1/sql statements addressing other catalog datasets resolve
@@ -861,7 +870,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(rendered + "\n")
-    return 0 if summary["errors"] == 0 else 1
+    if summary["error_rate"] > args.max_error_rate:
+        print(f"# error rate {summary['error_rate']:.4f} exceeds "
+              f"--max-error-rate {args.max_error_rate:g}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -977,6 +991,282 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{corruption} corrupt pages detected and re-read")
     total = len(algorithms) * args.repeat
     print(f"# {total - len(failures)}/{total} runs survived")
+    return 1 if failures else 0
+
+
+def _chaos_net_round(schedule: str, plan, shards: int,
+                     args: argparse.Namespace, totals: dict) -> List[str]:
+    """One full-stack chaos round: one fault schedule at one shard count.
+
+    Builds fresh file-backed trees, computes serial baselines, then
+    serves them through NetServer + ShardManager with the faulty wire
+    while a writer thread ingests into P under WAL protection with a
+    background checkpointer.  After ingest it hot-reloads the shards
+    onto the new pinned generation and re-verifies against a fresh
+    serial recompute.  Returns the round's divergences (empty =
+    survived).
+    """
+    import shutil
+    import tempfile
+    import threading
+    import time as time_mod
+
+    from repro.net import NetClient, NetServer, ShardManager, tree_spec
+    from repro.net.faults import FaultyShardTransport
+    from repro.net.retry import HedgePolicy, RetryPolicy
+    from repro.service import CPQRequest as ServiceCPQ, QueryService
+    from repro.storage.wal import WALCheckpointer, WriteAheadLog
+
+    core = ("naive", "exh", "sim", "std", "heap")
+    problems: List[str] = []
+    scratch = tempfile.mkdtemp(prefix="repro-chaos-net-")
+    manager = server = client = checkpointer = None
+    try:
+        # Fresh trees per round: P gets live mutation + WAL, Q stays
+        # static; both are file-backed so shard processes reopen them.
+        points_p = uniform_points(args.n, UNIT_WORKSPACE,
+                                  seed=plan.seed + 11)
+        points_q = uniform_points(args.n, UNIT_WORKSPACE,
+                                  seed=plan.seed + 23)
+        p_path = os.path.join(scratch, "p.pages")
+        q_path = os.path.join(scratch, "q.pages")
+        tree_p = bulk_load(points_p,
+                           file=PagedFile(FilePageStore(p_path, 1024)))
+        tree_q = bulk_load(points_q,
+                           file=PagedFile(FilePageStore(q_path, 1024)))
+        tree_q.file.store.flush()
+        meta_p = _meta_path(p_path)
+        with open(meta_p, "w") as handle:
+            json.dump(tree_p.metadata(), handle)
+        wal = WriteAheadLog(_wal_path(p_path), sync_mode="none")
+        tree_p.enable_live_mutation(wal)
+        # Pin the serving generation for the whole faulted phase: the
+        # writer keeps committing, but no page a shard can reach is
+        # reclaimed until after the hot reload below.
+        writer_pin = tree_p.pin()
+
+        spec_p = tree_spec(tree_p, buffer_capacity=32)
+        spec_q = tree_spec(tree_q, buffer_capacity=32)
+        reader_p, reader_q = spec_p.open(), spec_q.open()
+        baselines = {
+            algorithm: k_closest_pairs(
+                reader_p, reader_q,
+                request=CPQRequest(k=args.k, algorithm=algorithm),
+            ).pairs
+            for algorithm in core
+        }
+
+        transport = FaultyShardTransport(plan)
+        manager = ShardManager(
+            spec_p, spec_q,
+            shards=shards,
+            pair="default",
+            on_failure="recover",
+            shard_timeout_s=args.shard_timeout,
+            attempt_timeout_s=args.attempt_timeout,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.01,
+                                     max_delay_s=0.1),
+            hedge_policy=HedgePolicy(floor_s=args.hedge_floor_ms / 1000.0,
+                                     min_samples=4),
+            transport=transport,
+            probe_interval_s=0.25,
+            seed=plan.seed,
+        )
+        service = QueryService(
+            workers=4, queue_size=128, cache_size=0,
+            cpq_executor=manager.service_executor(),
+        )
+        service.register_pair("default", manager.tree_p, manager.tree_q)
+        server = NetServer(service, manager=manager, wal=wal)
+        server.start_in_thread()
+        client = NetClient("127.0.0.1", server.port, timeout_s=60.0)
+
+        # Background checkpointing: once the ingest below pushes the
+        # log past the threshold, the checkpointer flushes the page
+        # store, rewrites the sidecar and empties the log -- the event
+        # that makes the post-ingest hot reload meaningful.
+        checkpointer = WALCheckpointer(
+            wal, lambda: tree_p.checkpoint_wal(meta_p),
+            threshold_bytes=args.checkpoint_bytes, interval_s=0.05,
+        ).start()
+        extra = uniform_points(args.ingest_n, UNIT_WORKSPACE,
+                               seed=plan.seed + 37)
+        ingest_error: List[BaseException] = []
+
+        def ingest() -> None:
+            oid = len(tree_p)
+            try:
+                for offset in range(0, len(extra), 16):
+                    chunk = extra[offset:offset + 16]
+                    with tree_p.batch():
+                        for i, point in enumerate(chunk):
+                            tree_p.insert(
+                                tuple(float(v) for v in point),
+                                oid + offset + i,
+                            )
+                    time_mod.sleep(0.002)
+            except BaseException as exc:  # noqa: BLE001 -- report
+                ingest_error.append(exc)
+
+        ingest_thread = threading.Thread(target=ingest, daemon=True,
+                                         name="chaos-net-ingest")
+        ingest_thread.start()
+
+        # Phase 1: query the pinned generation under wire faults while
+        # the writer mutates underneath.  Recover mode means every
+        # answer must be byte-identical to the serial baseline.
+        for repeat in range(args.repeat):
+            for algorithm in core:
+                response = client.query(ServiceCPQ(
+                    pair="default", k=args.k, algorithm=algorithm,
+                    use_cache=False,
+                ))
+                if not response.ok:
+                    problems.append(
+                        f"{algorithm} run {repeat}: status "
+                        f"{response.status}: {response.error}"
+                    )
+                elif response.partial:
+                    problems.append(
+                        f"{algorithm} run {repeat}: partial answer in "
+                        f"recover mode"
+                    )
+                elif response.result.pairs != baselines[algorithm]:
+                    problems.append(
+                        f"{algorithm} run {repeat}: WRONG ANSWER under "
+                        f"faults -- this is a bug"
+                    )
+
+        ingest_thread.join(60.0)
+        if ingest_thread.is_alive():
+            problems.append("ingest thread hung")
+        if ingest_error:
+            problems.append(f"ingest failed: {ingest_error[0]}")
+        checkpointer.maybe_checkpoint()
+        checkpointer.close()
+        if wal.stats.checkpoints == 0:
+            problems.append("no background WAL checkpoint fired")
+
+        # Phase 2: hot-reload every shard onto the newer pinned
+        # generation (no restart on the happy path), release the old
+        # pin, and verify against a fresh serial recompute.
+        new_spec_p = tree_spec(tree_p, buffer_capacity=32)
+        if new_spec_p.generation <= spec_p.generation:
+            problems.append("ingest advanced no generation")
+        reload_report = manager.reload(new_spec_p, spec_q)
+        tree_p.release(writer_pin)
+        service.register_pair("default", manager.tree_p, manager.tree_q)
+        fresh_p = new_spec_p.open()
+        for algorithm in core:
+            expected = k_closest_pairs(
+                fresh_p, reader_q,
+                request=CPQRequest(k=args.k, algorithm=algorithm),
+            ).pairs
+            response = client.query(ServiceCPQ(
+                pair="default", k=args.k, algorithm=algorithm,
+                use_cache=False,
+            ))
+            if not response.ok:
+                problems.append(
+                    f"{algorithm} post-reload: status {response.status}"
+                )
+            elif response.result.pairs != expected:
+                problems.append(
+                    f"{algorithm} post-reload: WRONG ANSWER at "
+                    f"generation {new_spec_p.generation}"
+                )
+
+        healthz = client.healthz()
+        net = manager.net_stats()
+        for key in ("retries", "hedges", "hedge_wins", "respawns",
+                    "reloads", "frame_errors", "dedup_dropped"):
+            totals[key] = totals.get(key, 0) + net.get(key, 0)
+        totals["checkpoints"] = (totals.get("checkpoints", 0)
+                                 + wal.stats.checkpoints)
+        print(json.dumps({
+            "schedule": schedule,
+            "shards": shards,
+            "survived": not problems,
+            "generation": healthz.get("generation"),
+            "reload": reload_report,
+            "checkpoints": wal.stats.checkpoints,
+            "injected": net.get("injected_faults", {}),
+            "net": {k: net.get(k, 0) for k in (
+                "retries", "hedges", "hedge_wins", "respawns",
+                "reloads", "frame_errors", "dedup_dropped")},
+        }, sort_keys=True), flush=True)
+        return problems
+    finally:
+        if client is not None:
+            client.close()
+        if checkpointer is not None:
+            checkpointer.close()
+        if server is not None:
+            server.close()
+        elif manager is not None:
+            manager.close()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def cmd_chaos_net(args: argparse.Namespace) -> int:
+    """Full-stack wire chaos: every fault schedule against serve-net.
+
+    The network-tier counterpart of ``chaos``: for each bundled
+    :data:`repro.net.faults.SCHEDULES` entry (drops, stalls, truncated
+    and corrupt frames, shard kills) and each shard count, a complete
+    stack -- asyncio edge, N spawn shards over a faulty transport,
+    concurrent WAL-protected ingest with background checkpointing --
+    must answer every one of the paper's five core algorithms
+    byte-identically to the serial baseline, then survive a hot reload
+    onto the newer generation.  Exits nonzero on any divergence, hang,
+    or if the whole run exercised no respawn, no hedge win, or no
+    reload (a chaos run that heals nothing proves nothing).
+    """
+    import dataclasses
+
+    from repro.net.faults import SCHEDULES as NET_SCHEDULES
+
+    if args.list_schedules:
+        for name, plan in sorted(NET_SCHEDULES.items()):
+            print(f"{name:10s} drop={plan.p_drop:g} stall={plan.p_stall:g} "
+                  f"truncate={plan.p_truncate:g} corrupt={plan.p_corrupt:g} "
+                  f"kill={plan.p_kill:g}")
+        return 0
+    if args.quick:
+        schedules = ["stall", "kill", "mixed"]
+        shard_counts = [2]
+        args.repeat = min(args.repeat, 1)
+    else:
+        schedules = (args.schedules.split(",") if args.schedules
+                     else sorted(NET_SCHEDULES))
+        shard_counts = [int(s) for s in args.shards.split(",")]
+    for name in schedules:
+        if name not in NET_SCHEDULES:
+            print(f"unknown schedule {name!r}; choose from "
+                  f"{', '.join(sorted(NET_SCHEDULES))}", file=sys.stderr)
+            return 2
+
+    totals: dict = {}
+    failures: List[str] = []
+    rounds = 0
+    for schedule in schedules:
+        plan = dataclasses.replace(NET_SCHEDULES[schedule],
+                                   seed=args.seed + rounds)
+        for shards in shard_counts:
+            rounds += 1
+            problems = _chaos_net_round(schedule, plan, shards, args,
+                                        totals)
+            for problem in problems:
+                failures.append(f"[{schedule} x{shards}] {problem}")
+                print(f"FAIL [{schedule} x{shards}] {problem}",
+                      file=sys.stderr)
+    print(f"# {rounds - len(set(f.split(']')[0] for f in failures))}/"
+          f"{rounds} rounds survived; totals: "
+          f"{json.dumps(totals, sort_keys=True)}")
+    for requirement in ("respawns", "hedge_wins", "reloads"):
+        if totals.get(requirement, 0) < 1:
+            failures.append(f"run exercised no {requirement}")
+            print(f"FAIL run exercised no {requirement}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -1484,6 +1774,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "real work)")
     loadgen.add_argument("--out", default=None,
                          help="also write the summary JSON here")
+    loadgen.add_argument("--max-error-rate", type=float, default=0.0,
+                         help="exit nonzero when errors/attempts "
+                              "exceeds this fraction (default 0: any "
+                              "error fails)")
     loadgen.set_defaults(func=cmd_loadgen)
 
     chaos = sub.add_parser(
@@ -1509,6 +1803,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--list-schedules", action="store_true",
                        help="print the named schedules and exit")
     chaos.set_defaults(func=cmd_chaos)
+
+    chaos_net = sub.add_parser(
+        "chaos-net",
+        help="run the full network stack (edge + shards + concurrent "
+             "ingest) under injected wire faults and verify answers "
+             "stay byte-identical to serial",
+    )
+    chaos_net.add_argument("--schedules", default=None,
+                           help="comma-separated subset "
+                                "(default: all; see --list-schedules)")
+    chaos_net.add_argument("--shards", default="2,4",
+                           help="comma-separated shard counts to test")
+    chaos_net.add_argument("--seed", type=int, default=0,
+                           help="fault-plan seed; same seed, same faults")
+    chaos_net.add_argument("--k", type=int, default=10)
+    chaos_net.add_argument("--n", type=int, default=400,
+                           help="points per tree")
+    chaos_net.add_argument("--ingest-n", type=int, default=256,
+                           help="points inserted concurrently into P")
+    chaos_net.add_argument("--repeat", type=int, default=2,
+                           help="faulted runs per algorithm per round")
+    chaos_net.add_argument("--checkpoint-bytes", type=int, default=16384,
+                           help="background WAL checkpoint threshold")
+    chaos_net.add_argument("--hedge-floor-ms", type=float, default=30.0,
+                           help="minimum hedge trigger latency")
+    chaos_net.add_argument("--attempt-timeout", type=float, default=0.5,
+                           help="per-attempt shard timeout (s)")
+    chaos_net.add_argument("--shard-timeout", type=float, default=15.0,
+                           help="total gather budget per query (s)")
+    chaos_net.add_argument("--quick", action="store_true",
+                           help="CI smoke: 2 shards, one repeat, "
+                                "stall/kill/mixed only")
+    chaos_net.add_argument("--list-schedules", action="store_true",
+                           help="print the named schedules and exit")
+    chaos_net.set_defaults(func=cmd_chaos_net)
 
     sql = sub.add_parser(
         "sql",

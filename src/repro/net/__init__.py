@@ -7,9 +7,26 @@ shards and their scatter-gather K-heap merge, :mod:`~repro.net.server`
 is the asyncio HTTP edge, :mod:`~repro.net.client` the keep-alive
 client, and :mod:`~repro.net.loadgen` the closed-loop load generator
 behind ``BENCH_network_qps.json``.  See ``docs/NETWORK.md``.
+
+The self-healing layer lives alongside: :mod:`~repro.net.frames` CRC-
+checks every shard reply so damaged bytes become typed, retryable
+failures; :mod:`~repro.net.retry` holds the backoff and hedging
+policies the coordinator runs; :mod:`~repro.net.faults` is the seeded
+wire-level fault injector behind ``repro-cpq chaos-net``.  See
+``docs/RESILIENCE.md`` for the fault model.
 """
 
 from repro.net.client import NetClient
+from repro.net.faults import (
+    SCHEDULES,
+    FaultyClientTransport,
+    FaultyShardTransport,
+    NetFaultPlan,
+    NetFaultStats,
+    ShardTransport,
+)
+from repro.net.frames import FrameError, decode_frame, encode_frame
+from repro.net.retry import HedgePolicy, RetryPolicy
 from repro.net.server import NetServer
 from repro.net.shard import ShardManager, TreeSpec, tree_spec
 from repro.net.wire import (
@@ -27,13 +44,24 @@ from repro.net.wire import (
 )
 
 __all__ = [
+    "SCHEDULES",
     "SQLRequest",
     "WIRE_VERSION",
-    "WireError",
+    "FaultyClientTransport",
+    "FaultyShardTransport",
+    "FrameError",
+    "HedgePolicy",
     "NetClient",
+    "NetFaultPlan",
+    "NetFaultStats",
     "NetServer",
+    "RetryPolicy",
     "ShardManager",
+    "ShardTransport",
     "TreeSpec",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
     "tree_spec",
     "decode_request",
     "decode_response",

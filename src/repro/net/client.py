@@ -42,10 +42,17 @@ class NetError(RuntimeError):
 class NetClient:
     """One persistent connection to a :class:`~repro.net.NetServer`."""
 
-    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0,
+                 *, faults=None):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        #: Optional :class:`~repro.net.faults.FaultyClientTransport`
+        #: injecting connection drops / stalls / damaged bodies into
+        #: this client's exchanges (chaos testing of the edge path --
+        #: a drop exercises the one-reconnect retry below, damage
+        #: exercises the JSON rejection).
+        self.faults = faults
         self._conn = http.client.HTTPConnection(
             host, port, timeout=timeout_s
         )
@@ -57,6 +64,8 @@ class NetClient:
         """One HTTP exchange; reconnects once on a stale keep-alive."""
         for attempt in (0, 1):
             try:
+                if self.faults is not None:
+                    self.faults.before_send()
                 self._conn.request(
                     method, path, body=body,
                     headers={"Content-Type": "application/json"},
@@ -75,6 +84,8 @@ class NetClient:
                 raise NetError(
                     f"{method} {path} failed: {exc}"
                 ) from exc
+        if self.faults is not None:
+            payload = self.faults.transform_response(payload)
         try:
             obj = json.loads(payload)
         except json.JSONDecodeError as exc:

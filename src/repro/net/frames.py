@@ -1,0 +1,76 @@
+"""CRC-framed coordinator/shard reply envelopes.
+
+The coordinator and its shard processes exchange Python objects over
+``multiprocessing`` queues, which normally makes the wire invisible --
+and therefore makes wire damage *undetectable*: a truncated or
+bit-flipped reply would either unpickle into garbage pairs (a silent
+wrong answer, the one unforgivable failure for a K-CPQ engine) or
+raise an arbitrary exception deep inside the collector.
+
+So shard replies travel as explicit frames, extending the WAL's
+CRC discipline (:mod:`repro.storage.wal`) to the process wire::
+
+    magic (uint16) | length (uint32) | crc32 (uint32) | payload
+
+with the CRC covering length and payload (a pickled dict).  The
+coordinator verifies every frame before trusting a single pair;
+damage of any shape -- truncation, corruption, an empty buffer --
+raises :class:`FrameError`, which the retry machinery treats exactly
+like a failed shard attempt: detected, counted, and retried, never
+merged.  :mod:`repro.net.faults` injects both damage shapes through
+:func:`corrupt_frame` / :func:`truncate_frame`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Any
+
+#: Stamp leading every reply frame (ASCII ``"NF"`` -- net frame).
+FRAME_MAGIC = 0x464E
+
+#: magic, payload length, crc32 -- 10 bytes.
+_HEADER = struct.Struct("<HII")
+
+
+class FrameError(RuntimeError):
+    """A reply frame failed its magic, length or CRC check."""
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Frame one payload object for the coordinator wire."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(struct.pack("<I", len(body)))
+    crc = zlib.crc32(body, crc) & 0xFFFFFFFF
+    return _HEADER.pack(FRAME_MAGIC, len(body), crc) + body
+
+
+def decode_frame(data: bytes) -> Any:
+    """Verify and unpickle one frame; raises :class:`FrameError`.
+
+    Every failure shape maps to the same typed error: short header,
+    wrong magic, short payload (truncation), CRC mismatch (corruption)
+    and -- defensively -- an unpicklable body behind a valid CRC.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise FrameError(f"frame is {type(data).__name__}, not bytes")
+    if len(data) < _HEADER.size:
+        raise FrameError(f"short frame header ({len(data)} bytes)")
+    magic, length, crc = _HEADER.unpack_from(data, 0)
+    if magic != FRAME_MAGIC:
+        raise FrameError(f"bad frame magic 0x{magic:04X}")
+    body = bytes(data[_HEADER.size:])
+    if len(body) != length:
+        raise FrameError(
+            f"truncated frame: header says {length} bytes, got {len(body)}"
+        )
+    actual = zlib.crc32(struct.pack("<I", length))
+    actual = zlib.crc32(body, actual) & 0xFFFFFFFF
+    if actual != crc:
+        raise FrameError("frame CRC mismatch (corrupt payload)")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # pragma: no cover -- CRC passed, bad pickle
+        raise FrameError(f"frame payload failed to unpickle: {exc}") from exc

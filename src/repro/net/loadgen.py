@@ -118,11 +118,13 @@ def run_loadgen(
     )
     completed = len(latencies)
     errors = sum(errors_by_worker)
+    attempted = completed + errors
     return {
         "clients": clients,
         "duration_s": round(measured_s, 3),
         "requests": completed,
         "errors": errors,
+        "error_rate": round(errors / attempted, 6) if attempted else 0.0,
         "qps": round(completed / measured_s, 2) if measured_s else 0.0,
         "mean_ms": (round(sum(latencies) / completed, 3)
                     if completed else 0.0),

@@ -109,10 +109,15 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         manager=None,
+        wal=None,
         waiters: int = 64,
     ):
         self.service = service
         self.manager = manager
+        #: Optional :class:`~repro.storage.wal.WriteAheadLog` of the
+        #: live writer tree behind this server's pair; only used for
+        #: ``/healthz`` staleness reporting (current log size).
+        self.wal = wal
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -418,6 +423,22 @@ class NetServer:
         if self.manager is not None:
             out["shards"] = self.manager.health()
             out["on_failure"] = self.manager.on_failure
+            # Staleness at a glance: the generation the coordinator
+            # scatters at (shard rows above carry what each process
+            # last reported, so a lagging shard is visible here).
+            out["generation"] = {
+                "p": self.manager.spec_p.generation,
+                "q": self.manager.spec_q.generation,
+            }
+            out["net"] = self.manager.net_stats()
+        if self.wal is not None:
+            try:
+                out["wal"] = {
+                    "size_bytes": self.wal.size(),
+                    "checkpoints": self.wal.stats.checkpoints,
+                }
+            except (OSError, ValueError):  # pragma: no cover -- closing
+                pass
         return out
 
     @staticmethod

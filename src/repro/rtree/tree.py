@@ -35,6 +35,8 @@ before it is published.  See ``docs/STORAGE.md``.
 from __future__ import annotations
 
 import math
+import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
@@ -125,6 +127,11 @@ class RTree:
         # Live-mutation state (None/inactive until enable_live_mutation).
         self._snapshots: Optional[SnapshotManager] = None
         self._wal = None
+        #: Serialises mutation batches against WAL checkpointing: held
+        #: from batch open to commit/rollback, and by
+        #: :meth:`checkpoint_wal`, so the log is never truncated with a
+        #: half-appended batch inside it.
+        self._batch_lock = threading.RLock()
         self._batch_depth = 0
         self._batch_ops = 0
         self._batch_failed = False
@@ -335,6 +342,9 @@ class RTree:
             self._commit_batch()
 
     def _begin_batch(self) -> None:
+        # Reentrant: nested batches re-acquire; the checkpointer thread
+        # blocks here until the outermost commit/rollback releases.
+        self._batch_lock.acquire()
         self._batch_depth += 1
         if self._batch_depth > 1:
             return
@@ -348,24 +358,30 @@ class RTree:
             self._wal.begin(self.generation)
 
     def _commit_batch(self) -> None:
-        self._batch_depth -= 1
-        if self._batch_depth:
-            return
-        if self._batch_failed:
-            self._rollback_batch()
-            raise RuntimeError(
-                "mutation batch poisoned by an earlier error; rolled back"
-            )
-        self._commit_mutation()
+        try:
+            self._batch_depth -= 1
+            if self._batch_depth:
+                return
+            if self._batch_failed:
+                self._rollback_batch()
+                raise RuntimeError(
+                    "mutation batch poisoned by an earlier error; rolled back"
+                )
+            self._commit_mutation()
+        finally:
+            self._batch_lock.release()
 
     def _abort_batch(self) -> None:
-        self._batch_depth -= 1
-        if self._batch_depth:
-            # An enclosing batch is still open; it cannot commit a
-            # half-applied operation, so poison it.
-            self._batch_failed = True
-            return
-        self._rollback_batch()
+        try:
+            self._batch_depth -= 1
+            if self._batch_depth:
+                # An enclosing batch is still open; it cannot commit a
+                # half-applied operation, so poison it.
+                self._batch_failed = True
+                return
+            self._rollback_batch()
+        finally:
+            self._batch_lock.release()
 
     def _commit_mutation(self) -> None:
         """The single mutation seam: every committed batch ends here.
@@ -404,6 +420,46 @@ class RTree:
         )
         self._batch_pages = set()
         self._batch_freed = []
+
+    def checkpoint_wal(self, meta_path: Optional[str] = None) -> bool:
+        """Truncate the attached WAL once its contents are redundant.
+
+        Makes the log's work durable *elsewhere first* -- flush the
+        page store, then rewrite the ``.meta.json`` sidecar at the
+        committed snapshot -- and only then empties the log, so a
+        crash at any point recovers: before the truncate the WAL
+        replays as usual; after it, the sidecar already describes the
+        flushed pages and there is nothing to replay.  Holds the batch
+        lock, so a checkpoint never interleaves with a half-appended
+        batch (the background :class:`~repro.storage.wal.
+        WALCheckpointer` calls this from its own thread).
+
+        Returns False when no WAL is attached.  Idempotent: an empty
+        log checkpoints to an empty log.
+        """
+        if self._wal is None:
+            return False
+        with self._batch_lock:
+            store = getattr(self.file, "store", None)
+            if store is not None and hasattr(store, "flush"):
+                store.flush()
+            if meta_path is not None:
+                import json
+
+                snapshot = self.committed()
+                metadata = dict(self.metadata())
+                metadata.update(
+                    root_id=snapshot.root_id,
+                    height=snapshot.height,
+                    count=snapshot.count,
+                    generation=snapshot.generation,
+                )
+                tmp = meta_path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(metadata, handle)
+                os.replace(tmp, meta_path)
+            self._wal.checkpoint()
+        return True
 
     def _rollback_batch(self) -> None:
         """Undo an aborted batch as far as the storage mode allows."""

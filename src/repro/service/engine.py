@@ -1033,6 +1033,16 @@ class QueryService:
         )
         if partial:
             self.metrics.record_partial_response()
+        # Self-healing events this query's scatter-gather burned
+        # through (retries, hedges, damaged frames) roll up into the
+        # resilience.net section of /stats.
+        if request.kind == "cpq":
+            net = result.stats.extra.get("net", {})
+            for event in ("retries", "hedges", "hedge_wins",
+                          "frame_errors", "dedup_dropped"):
+                count = net.get(event, 0)
+                if count:
+                    self.metrics.record_net_event(event, count)
         if key is not None and not partial:
             self.cache.put(
                 key,

@@ -104,6 +104,16 @@ class SnapshotManager:
         with self._lock:
             return sum(self._pins.values())
 
+    def pins_by_generation(self) -> Dict[int, int]:
+        """Live pin counts keyed by generation (staleness at a glance).
+
+        The supervisor's hot-reload path and ``/healthz`` use this to
+        show which superseded generations are still held open -- a
+        generation lingering here is why its pages have not reclaimed.
+        """
+        with self._lock:
+            return dict(self._pins)
+
     # -- write side --------------------------------------------------------
 
     def publish(self, snapshot: Snapshot,

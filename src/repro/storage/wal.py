@@ -123,6 +123,7 @@ class WALStats:
     syncs: int = 0
     commits: int = 0
     aborted_batches: int = 0
+    checkpoints: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -304,15 +305,104 @@ class WriteAheadLog:
         return size - valid
 
     def checkpoint(self) -> None:
-        """Empty the log (call only after the page store is durable)."""
+        """Empty the log (call only after the page store is durable).
+
+        Idempotent: checkpointing an already-empty log is a no-op
+        truncate.  The caller owns the ordering contract -- flush the
+        page store and rewrite the metadata sidecar *first*, so the
+        log's contents are redundant at the moment they vanish (see
+        :meth:`repro.rtree.tree.RTree.checkpoint_wal`).
+        """
+        self._file.flush()
         self._file.truncate(0)
         self._file.seek(0)
+        if self.sync_mode == "fsync":
+            os.fsync(self._file.fileno())
+        self.stats.checkpoints += 1
+
+    def size(self) -> int:
+        """Current on-disk log size in bytes (buffered writes included)."""
+        self._file.flush()
+        return os.path.getsize(self.path)
 
     def close(self) -> None:
         self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class WALCheckpointer:
+    """Background WAL checkpointing on a size threshold.
+
+    Watches one live tree's log and calls ``checkpoint()`` (by default
+    the tree's :meth:`~repro.rtree.tree.RTree.checkpoint_wal`) whenever
+    the log grows past ``threshold_bytes`` -- bounding both recovery
+    replay time and disk held by page images that the flushed store
+    already owns.  The checkpoint callable is responsible for its own
+    atomicity (``checkpoint_wal`` takes the tree's batch lock, so a
+    checkpoint never interleaves with a half-appended batch).
+
+    Runs as a daemon thread polling every ``interval_s``;
+    :meth:`maybe_checkpoint` offers the same threshold check
+    synchronously (the commit path calls it when no thread is wanted).
+    """
+
+    def __init__(self, wal: WriteAheadLog, checkpoint,
+                 threshold_bytes: int = 4 * 1024 * 1024,
+                 interval_s: float = 0.25):
+        if threshold_bytes < 1:
+            raise ValueError("threshold_bytes must be >= 1")
+        import threading
+
+        self.wal = wal
+        self.threshold_bytes = threshold_bytes
+        self.interval_s = interval_s
+        self.checkpoints_triggered = 0
+        self._checkpoint = checkpoint
+        self._stop = threading.Event()
+        self._thread: Optional[object] = None
+        self._threading = threading
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint now if the log is past threshold; True when it ran."""
+        try:
+            over = self.wal.size() >= self.threshold_bytes
+        except (OSError, ValueError):  # log closed under us
+            return False
+        if not over:
+            return False
+        self._checkpoint()
+        self.checkpoints_triggered += 1
+        return True
+
+    def start(self) -> "WALCheckpointer":
+        """Start the background thread (idempotent)."""
+        if self._thread is None:
+            self._thread = self._threading.Thread(
+                target=self._loop, name="wal-checkpointer", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.maybe_checkpoint()
+            except (OSError, ValueError):  # pragma: no cover -- closing
+                return
+
+    def close(self, timeout_s: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "WALCheckpointer":
+        return self.start()
 
     def __exit__(self, *exc) -> None:
         self.close()

@@ -131,6 +131,39 @@ class TestProtocol:
         assert all(shard["alive"] for shard in health["shards"])
         assert health["on_failure"] == "recover"
 
+    def test_healthz_reports_generation_and_net_counters(self, client):
+        health = client.healthz()
+        # Staleness surface: which snapshot generation the shards are
+        # pinned to, plus the self-healing counter block.
+        assert health["generation"] == {"p": 0, "q": 0}
+        net = health["net"]
+        for key in ("retries", "hedges", "hedge_wins", "respawns",
+                    "reloads", "frame_errors", "dedup_dropped"):
+            assert net[key] >= 0
+
+    def test_healthz_reports_wal_size(self, tmp_path):
+        from repro.storage.wal import WriteAheadLog
+
+        wal = WriteAheadLog(str(tmp_path / "h.wal"), sync_mode="none")
+        wal.begin(0)
+        wal.log_write(1, b"x" * 64)
+        wal.commit(1, root_id=1, height=1, count=1)
+        service = QueryService(workers=1, queue_size=4)
+        server = NetServer(service, wal=wal).start_in_thread()
+        try:
+            with NetClient("127.0.0.1", server.port) as probe:
+                health = probe.healthz()
+            assert health["wal"]["size_bytes"] > 0
+            assert health["wal"]["checkpoints"] == 0
+            wal.checkpoint()
+            with NetClient("127.0.0.1", server.port) as probe:
+                health = probe.healthz()
+            assert health["wal"]["size_bytes"] == 0
+            assert health["wal"]["checkpoints"] == 1
+        finally:
+            server.close()
+            wal.close()
+
     def test_stats_snapshot(self, client):
         client.query(ServiceCPQ(pair="default", k=2))
         stats = client.stats()
